@@ -1,0 +1,210 @@
+package oslayout_test
+
+// The benchmark harness: one benchmark per table and figure of the paper
+// (dispatching through the experiment registry), plus micro-benchmarks of
+// the substrates (kernel synthesis, trace generation, profiling, layout
+// construction, cache simulation).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benchmarks share one study environment (built on first
+// use), so each measures the incremental cost of regenerating its table or
+// figure, exactly what `cmd/oslayout <experiment>` does after startup.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"oslayout"
+	"oslayout/internal/cache"
+	"oslayout/internal/expt"
+	"oslayout/internal/kernelgen"
+	"oslayout/internal/mcflayout"
+	"oslayout/internal/profile"
+	"oslayout/internal/simulate"
+	"oslayout/internal/trace"
+	"oslayout/internal/workload"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *expt.Env
+	benchEnvErr  error
+)
+
+func sharedEnv(b *testing.B) *expt.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = expt.NewEnv(expt.Options{OSRefs: 1_000_000})
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, name string) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Run(env, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper table ---
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// --- one benchmark per paper figure ---
+
+func BenchmarkFigure1(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFigure2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFigure18(b *testing.B) { benchExperiment(b, "fig18") }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkKernelSynthesis measures building the full ~940KB synthetic
+// kernel CFG.
+func BenchmarkKernelSynthesis(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kernelgen.Build(kernelgen.DefaultConfig())
+	}
+}
+
+// BenchmarkTraceGeneration measures generating a 1M-OS-reference Shell
+// trace (walker throughput).
+func BenchmarkTraceGeneration(b *testing.B) {
+	k := kernelgen.Build(kernelgen.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := workload.Generate(k, workload.Shell(),
+			workload.Options{Seed: int64(i + 1), OSRefs: 1_000_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileCollection measures turning a trace into a profile.
+func BenchmarkProfileCollection(b *testing.B) {
+	k := kernelgen.Build(kernelgen.DefaultConfig())
+	tr, _, err := workload.Generate(k, workload.Shell(), workload.Options{Seed: 1, OSRefs: 1_000_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profile.FromTrace(tr)
+	}
+}
+
+// BenchmarkCacheSimulation measures replaying a 1M-reference trace through
+// the 8KB direct-mapped cache under the Base layout.
+func BenchmarkCacheSimulation(b *testing.B) {
+	env := sharedEnv(b)
+	base := env.Base()
+	tr := env.St.Data[3].Trace // Shell: OS-only, no app layout needed
+	cfg := cache.Config{Size: 8 << 10, Line: 32, Assoc: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Run(tr, base, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptSConstruction measures the full placement algorithm
+// (sequences, SelfConfFree selection, loop analysis, assembly) on the
+// averaged profile.
+func BenchmarkOptSConstruction(b *testing.B) {
+	env := sharedEnv(b)
+	if err := env.St.UseAverageProfile(); err != nil {
+		b.Fatal(err)
+	}
+	params := oslayout.DefaultPlacementParams(8 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.St.OptimizeWithCurrentProfile(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCHConstruction measures the Chang-Hwu baseline construction.
+func BenchmarkCHConstruction(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.St.CHLayout(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension experiment benchmarks ---
+
+func BenchmarkExtCrossProfile(b *testing.B) { benchExperiment(b, "xprofile") }
+func BenchmarkExtBaselines(b *testing.B)    { benchExperiment(b, "baselines") }
+func BenchmarkExtAblation(b *testing.B)     { benchExperiment(b, "ablation") }
+func BenchmarkExtMultiCPU(b *testing.B)     { benchExperiment(b, "cpus") }
+func BenchmarkExtPolicy(b *testing.B)       { benchExperiment(b, "policy") }
+
+// BenchmarkTraceSerialization measures the varint trace codec round trip.
+func BenchmarkTraceSerialization(b *testing.B) {
+	env := sharedEnv(b)
+	tr := env.St.Data[3].Trace
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := tr.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadTrace(bytes.NewReader(buf.Bytes()), tr.OS, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMcFConstruction measures the McFarling-style baseline.
+func BenchmarkMcFConstruction(b *testing.B) {
+	env := sharedEnv(b)
+	if err := env.St.UseAverageProfile(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mcflayout.New(env.St.Kernel.Prog, 0)
+	}
+}
+
+func BenchmarkExtOverhead(b *testing.B) { benchExperiment(b, "overhead") }
+func BenchmarkExtLineUtil(b *testing.B) { benchExperiment(b, "lineutil") }

@@ -1,0 +1,177 @@
+// Command oslayout regenerates the tables and figures of Torrellas, Xia and
+// Daigle, "Optimizing Instruction Cache Performance for Operating System
+// Intensive Workloads" (HPCA 1995) from the synthetic reproduction study.
+//
+// Usage:
+//
+//	oslayout [flags] <experiment>...   one or more tables/figures
+//	oslayout [flags] all               every registered experiment
+//	oslayout [flags] stats             study summary (kernel, traces, profiles)
+//	oslayout list                      list experiment names
+//
+// Paper experiments: table1-table4, fig1-fig8, fig12-fig18. Extensions:
+// xprofile, baselines, ablation, cpus, policy (see EXPERIMENTS.md). The
+// study — kernel synthesis, trace generation, profiling — is built once and
+// shared by all requested experiments.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"oslayout/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "oslayout:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oslayout", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		refs       = fs.Uint64("refs", 3_000_000, "OS instruction-word references to trace per workload")
+		seed       = fs.Int64("seed", 0, "kernel generation seed override (0 = default 1995)")
+		timings    = fs.Bool("time", false, "print per-experiment wall-clock time")
+		dumpTraces = fs.String("dumptraces", "", "directory to write the captured workload traces to (binary format)")
+		jsonDir    = fs.String("json", "", "directory to additionally write each experiment's result as <name>.json")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: oslayout [flags] <experiment>...|all|stats|list\n\nexperiments: %v\n\nflags:\n",
+			strings.Join(expt.Names(), " "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment given")
+	}
+	if len(rest) == 1 && rest[0] == "list" {
+		for _, n := range expt.Names() {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+	names := rest
+	if len(rest) == 1 && rest[0] == "all" {
+		names = expt.Names()
+	}
+	wantStats := false
+	var expNames []string
+	for _, n := range names {
+		if n == "stats" {
+			wantStats = true
+			continue
+		}
+		if _, ok := expt.Registry[n]; !ok {
+			return fmt.Errorf("unknown experiment %q; try 'oslayout list'", n)
+		}
+		expNames = append(expNames, n)
+	}
+
+	start := time.Now()
+	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed})
+	if err != nil {
+		return fmt.Errorf("building study: %w", err)
+	}
+	if *timings {
+		fmt.Fprintf(stdout, "[study built in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *dumpTraces != "" {
+		if err := dumpAllTraces(env, *dumpTraces, stdout); err != nil {
+			return err
+		}
+	}
+	if wantStats {
+		printStats(env, stdout)
+	}
+	for _, n := range expNames {
+		t0 := time.Now()
+		r, err := expt.Run(env, n)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		fmt.Fprintf(stdout, "==== %s ====\n%s\n", n, r.Render())
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, n, r); err != nil {
+				return err
+			}
+		}
+		if *timings {
+			fmt.Fprintf(stdout, "[%s in %v]\n", n, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// writeJSON stores one experiment's result struct as indented JSON, the
+// machine-readable counterpart of the rendered table.
+func writeJSON(dir, name string, r expt.Renderer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("%s: marshalling: %w", name, err)
+	}
+	return os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644)
+}
+
+// printStats summarises the study: the kernel image and each workload's
+// trace and profile.
+func printStats(env *expt.Env, w io.Writer) {
+	k := env.St.Kernel.Prog
+	fmt.Fprintf(w, "==== stats ====\n")
+	fmt.Fprintf(w, "kernel: %d routines, %d basic blocks, %d KB code, %d dispatch points\n",
+		k.NumRoutines(), k.NumBlocks(), k.CodeSize()>>10, k.NumDispatch)
+	for i, d := range env.St.Data {
+		osRefs, appRefs := d.Trace.Refs()
+		if err := env.St.UseWorkloadProfile(i); err != nil {
+			fmt.Fprintf(w, "%s: profile error: %v\n", d.Workload.Name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %9d events, OS refs %9d, app refs %9d, invocations %6d, executed %6d B (%.1f%%), %3d routines\n",
+			d.Workload.Name, d.Trace.NumEvents(), osRefs, appRefs,
+			d.OSProfile.TotalInvocations(),
+			k.ExecutedCodeSize(), 100*float64(k.ExecutedCodeSize())/float64(k.CodeSize()),
+			k.ExecutedRoutines())
+	}
+	fmt.Fprintln(w)
+}
+
+// dumpAllTraces writes each workload's trace in the binary format to dir.
+func dumpAllTraces(env *expt.Env, dir string, w io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, d := range env.St.Data {
+		name := strings.ReplaceAll(d.Workload.Name, "/", "_") + ".trace"
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		n, err := d.Trace.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Fprintf(w, "[wrote %s: %d events, %d bytes]\n", path, d.Trace.NumEvents(), n)
+	}
+	return nil
+}

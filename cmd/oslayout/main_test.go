@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig12", "xprofile"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"fig99"}, &out, &errb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+	if !strings.Contains(errb.String(), "usage") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestRunStatsAndExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-refs", "150000", "-time", "stats", "table1"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"==== stats ====", "kernel:", "==== table1 ====", "Executed OS Code", "[study built"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDumpTraces(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	err := run([]string{"-refs", "100000", "-dumptraces", dir, "stats"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d trace files, want 4", len(entries))
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() < 1000 {
+			t.Errorf("trace file %s suspiciously small (%d bytes)", e.Name(), fi.Size())
+		}
+		if filepath.Ext(e.Name()) != ".trace" {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-nonsense"}, &out, &errb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestRunAllExperiments drives every registered experiment through the CLI
+// end to end with a short trace — the smoke test for `oslayout all`.
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-refs", "200000", "all"}, &out, &errb); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"==== table1 ====", "==== table4 ====", "==== fig12 ====",
+		"==== fig18 ====", "==== xprofile ====", "==== fragments ====",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if err := run([]string{"-refs", "120000", "-json", dir, "table1", "table3"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.json", "table3.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", name, err)
+		}
+		if len(decoded) == 0 {
+			t.Fatalf("%s: empty object", name)
+		}
+	}
+}

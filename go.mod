@@ -1,0 +1,3 @@
+module oslayout
+
+go 1.22

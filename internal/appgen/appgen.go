@@ -1,0 +1,227 @@
+// Package appgen synthesizes the application programs of the paper's four
+// workloads (Section 2.3). As with the kernel, the real binaries (Perfect
+// Club TRFD and ARC2D, the Concentrix C compiler's second phase, fsck) and
+// their traces are not obtainable, so we generate programs whose control
+// structure matches the paper's characterisation:
+//
+//   - TRFD: ~450 lines of hand-parallelised Fortran dominated by matrix
+//     multiplies and data interchanges — a tiny code footprint spending
+//     nearly all time in tight nested loops, hence a tiny miss rate that
+//     "waters down" the application contribution (Section 5.1);
+//   - ARC2D: ~4,000 lines of 2-D fluid dynamics (sparse linear solvers) —
+//     more routines, still loop-dominated;
+//   - Make (the compiler's second phase): ~15,000 lines of C — a large,
+//     call-heavy, irregular code with modest loops, producing real
+//     application misses;
+//   - Fsck: ~4,500 lines of C — passes scanning inodes and directories:
+//     loops-with-calls over file-system objects.
+//
+// A workload's applications are merged into one address space (one Program
+// with one "main" per component); the workload engine round-robins execution
+// among the mains to model the multiprogrammed mix.
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oslayout/internal/program"
+	"oslayout/internal/synth"
+)
+
+// App is a synthesized application image.
+type App struct {
+	Prog *program.Program
+	// Mains holds the entry routine of each component program in the mix.
+	Mains []program.RoutineID
+	// MainNames names each component ("trfd", "make", ...).
+	MainNames []string
+}
+
+// Component generates one application into the builder and returns its main
+// routine.
+type Component struct {
+	Name string
+	Gen  func(b *synth.Builder, prefix string) program.RoutineID
+}
+
+// Build merges the given components into one application image.
+func Build(name string, seed int64, comps ...Component) *App {
+	rng := rand.New(rand.NewSource(seed))
+	p := program.New(name)
+	b := synth.NewBuilder(p, rng)
+	app := &App{Prog: p}
+	for i, c := range comps {
+		prefix := fmt.Sprintf("%s%d", c.Name, i)
+		main := c.Gen(b, prefix)
+		app.Mains = append(app.Mains, main)
+		app.MainNames = append(app.MainNames, c.Name)
+	}
+	b.CheckAllFilled()
+	if err := p.Validate(); err != nil {
+		panic("appgen: generated invalid program: " + err.Error())
+	}
+	return app
+}
+
+// TRFD returns the TRFD Perfect Club component: matrix multiplies and data
+// interchanges in tight nested loops over a tiny code footprint.
+func TRFD() Component {
+	return Component{Name: "trfd", Gen: func(b *synth.Builder, pre string) program.RoutineID {
+		n := func(s string) string { return pre + "_" + s }
+		for _, r := range []string{"dgemm_inner", "interchange", "olda", "intrans", "sync_step", "main"} {
+			b.Decl(n(r))
+		}
+		// Innermost dot-product kernel: one tight loop, long trip count.
+		b.Fill(b.Get(n("dgemm_inner")), synth.Ropt{HotLen: 2,
+			Loops: []synth.LoopSpec{{Blocks: 2, MeanIters: 60}}})
+		// Data interchange: strided copy loops.
+		b.Fill(b.Get(n("interchange")), synth.Ropt{HotLen: 3,
+			Loops: []synth.LoopSpec{{Blocks: 2, MeanIters: 40}, {Blocks: 1, MeanIters: 40}}})
+		// olda: the transformation phase — a loop of calls to the kernel.
+		b.Fill(b.Get(n("olda")), synth.Ropt{HotLen: 5,
+			CallLoops: []synth.CallLoopSpec{{MeanIters: 30, Callees: []program.RoutineID{b.Get(n("dgemm_inner"))}}}})
+		b.Fill(b.Get(n("intrans")), synth.Ropt{HotLen: 4,
+			CallLoops: []synth.CallLoopSpec{{MeanIters: 20, Callees: []program.RoutineID{b.Get(n("interchange"))}}}})
+		// Barrier-style synchronisation step (parallel code).
+		b.Fill(b.Get(n("sync_step")), synth.Ropt{HotLen: 2,
+			Loops: []synth.LoopSpec{{Blocks: 1, MeanIters: 3}}})
+		main := b.Get(n("main"))
+		b.Fill(main, synth.Ropt{HotLen: 6, CallLoops: []synth.CallLoopSpec{{
+			MeanIters: 40,
+			Callees:   []program.RoutineID{b.Get(n("olda")), b.Get(n("intrans")), b.Get(n("sync_step"))},
+		}}})
+		return main
+	}}
+}
+
+// ARC2D returns the ARC2D Perfect Club component: 2-D fluid dynamics sweeps
+// (sparse penta-diagonal solvers) — loop-dominated but with more code than
+// TRFD.
+func ARC2D() Component {
+	return Component{Name: "arc2d", Gen: func(b *synth.Builder, pre string) program.RoutineID {
+		n := func(s string) string { return pre + "_" + s }
+		sweeps := []string{"xpenta", "ypenta", "filterx", "filtery", "rhscalc", "bccalc", "stepfx", "stepfy"}
+		for _, r := range sweeps {
+			b.Decl(n(r))
+		}
+		for i := 0; i < 12; i++ {
+			b.Decl(n(fmt.Sprintf("aux%d", i)))
+		}
+		b.Decl(n("step"))
+		b.Decl(n("main"))
+		for i := 0; i < 12; i++ {
+			b.Fill(b.Get(n(fmt.Sprintf("aux%d", i))), synth.Ropt{HotLen: 3 + b.Rng.Intn(5),
+				Loops: []synth.LoopSpec{{Blocks: 1 + b.Rng.Intn(3), MeanIters: 20 + b.Rng.Float64()*40}}})
+		}
+		var sweepIDs []program.RoutineID
+		for i, r := range sweeps {
+			aux := b.Get(n(fmt.Sprintf("aux%d", i%12)))
+			id := b.Get(n(r))
+			b.Fill(id, synth.Ropt{HotLen: 5,
+				Loops:     []synth.LoopSpec{{Blocks: 2, MeanIters: 30}},
+				CallLoops: []synth.CallLoopSpec{{MeanIters: 15, Callees: []program.RoutineID{aux}}}})
+			sweepIDs = append(sweepIDs, id)
+		}
+		step := b.Get(n("step"))
+		b.Fill(step, synth.Ropt{HotLen: len(sweeps) + 2, Calls: callsInOrder(sweepIDs)})
+		main := b.Get(n("main"))
+		b.Fill(main, synth.Ropt{HotLen: 4, CallLoops: []synth.CallLoopSpec{{
+			MeanIters: 25, Callees: []program.RoutineID{step}}}})
+		return main
+	}}
+}
+
+// Make returns the compiler-phase component (the second phase of the C
+// compiler): a large irregular call-heavy program.
+func Make() Component {
+	return Component{Name: "make", Gen: func(b *synth.Builder, pre string) program.RoutineID {
+		n := func(s string) string { return pre + "_" + s }
+		const nPool = 70
+		pool := make([]string, nPool)
+		for i := range pool {
+			pool[i] = n(fmt.Sprintf("cc%d", i))
+			b.Decl(pool[i])
+		}
+		passes := []string{"lex", "parse", "semant", "optim", "regalloc", "emit"}
+		for _, r := range passes {
+			b.Decl(n(r))
+		}
+		b.Decl(n("main"))
+		// Pool routines call earlier pool routines: compiler utility layers
+		// (symbol table, tree walkers, string handling).
+		for i, name := range pool {
+			opt := synth.Ropt{HotLen: 4 + b.Rng.Intn(12),
+				ColdBranchProb: 0.35, DiamondProb: 0.25, EarlyReturnProb: 0.2}
+			ncalls := b.Rng.Intn(3)
+			for c := 0; c < ncalls && i > 0; c++ {
+				callee := b.Get(pool[b.Rng.Intn(i)])
+				opt.Calls = append(opt.Calls, synth.CallAt{Pos: (c + 1) * opt.HotLen / (ncalls + 1), Callee: callee})
+			}
+			if b.Rng.Float64() < 0.25 {
+				opt.Loops = []synth.LoopSpec{{Blocks: 1 + b.Rng.Intn(3), MeanIters: 2 + b.Rng.Float64()*10}}
+			}
+			b.Fill(b.Get(name), opt)
+		}
+		var passIDs []program.RoutineID
+		for pi, r := range passes {
+			var callees []program.RoutineID
+			for c := 0; c < 4; c++ {
+				callees = append(callees, b.Get(pool[(pi*11+c*7)%nPool]))
+			}
+			id := b.Get(n(r))
+			b.Fill(id, synth.Ropt{HotLen: 8, ColdBranchProb: 0.3, DiamondProb: 0.2,
+				CallLoops: []synth.CallLoopSpec{{MeanIters: 12, Callees: callees}}})
+			passIDs = append(passIDs, id)
+		}
+		main := b.Get(n("main"))
+		b.Fill(main, synth.Ropt{HotLen: 5, CallLoops: []synth.CallLoopSpec{{
+			MeanIters: 8, Callees: passIDs}}})
+		return main
+	}}
+}
+
+// Fsck returns the file-system checker component: passes looping over
+// inodes, directories and the free list, calling check helpers.
+func Fsck() Component {
+	return Component{Name: "fsck", Gen: func(b *synth.Builder, pre string) program.RoutineID {
+		n := func(s string) string { return pre + "_" + s }
+		helpers := []string{"getino", "ckblock", "ckdirent", "pathname", "freecheck", "dupscan"}
+		for _, r := range helpers {
+			b.Decl(n(r))
+		}
+		passes := []string{"pass1", "pass2", "pass3", "pass4", "pass5"}
+		for _, r := range passes {
+			b.Decl(n(r))
+		}
+		b.Decl(n("main"))
+		for _, r := range helpers {
+			b.Fill(b.Get(n(r)), synth.Ropt{HotLen: 4 + b.Rng.Intn(6),
+				ColdBranchProb: 0.35, DiamondProb: 0.2,
+				Loops: []synth.LoopSpec{{Blocks: 1 + b.Rng.Intn(2), MeanIters: 3 + b.Rng.Float64()*8}}})
+		}
+		var passIDs []program.RoutineID
+		for pi, r := range passes {
+			callees := []program.RoutineID{
+				b.Get(n(helpers[pi%len(helpers)])),
+				b.Get(n(helpers[(pi+2)%len(helpers)])),
+			}
+			id := b.Get(n(r))
+			b.Fill(id, synth.Ropt{HotLen: 6, ColdBranchProb: 0.3,
+				CallLoops: []synth.CallLoopSpec{{MeanIters: 20, Callees: callees}}})
+			passIDs = append(passIDs, id)
+		}
+		main := b.Get(n("main"))
+		b.Fill(main, synth.Ropt{HotLen: len(passIDs) + 2, Calls: callsInOrder(passIDs)})
+		return main
+	}}
+}
+
+// callsInOrder spreads the callees one per hot-path step, in order.
+func callsInOrder(callees []program.RoutineID) []synth.CallAt {
+	calls := make([]synth.CallAt, len(callees))
+	for i, c := range callees {
+		calls[i] = synth.CallAt{Pos: i + 1, Callee: c}
+	}
+	return calls
+}

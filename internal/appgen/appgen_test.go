@@ -1,0 +1,95 @@
+package appgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"oslayout/internal/cfa"
+	"oslayout/internal/trace"
+)
+
+func TestBuildEachComponent(t *testing.T) {
+	for _, c := range []Component{TRFD(), ARC2D(), Make(), Fsck()} {
+		t.Run(c.Name, func(t *testing.T) {
+			app := Build("test", 7, c)
+			if err := app.Prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(app.Mains) != 1 {
+				t.Fatalf("%d mains, want 1", len(app.Mains))
+			}
+			if app.MainNames[0] != c.Name {
+				t.Fatalf("main name %q, want %q", app.MainNames[0], c.Name)
+			}
+		})
+	}
+}
+
+func TestBuildMergesComponents(t *testing.T) {
+	app := Build("mix", 11, TRFD(), Make())
+	if err := app.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Mains) != 2 {
+		t.Fatalf("%d mains, want 2", len(app.Mains))
+	}
+	if app.Mains[0] == app.Mains[1] {
+		t.Fatal("components share a main")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build("d", 3, ARC2D(), Fsck())
+	b := Build("d", 3, ARC2D(), Fsck())
+	if a.Prog.NumBlocks() != b.Prog.NumBlocks() || a.Prog.CodeSize() != b.Prog.CodeSize() {
+		t.Fatal("same seed produced different applications")
+	}
+}
+
+func TestComponentSizesReflectSourceSizes(t *testing.T) {
+	// The paper's components: TRFD ~450 lines, ARC2D ~4000, Make ~15000,
+	// Fsck ~4500. Generated code sizes should preserve the ordering
+	// TRFD < {ARC2D, Fsck} < Make.
+	size := func(c Component) int64 { return Build("s", 5, c).Prog.CodeSize() }
+	trfd, arc2d, mk, fsck := size(TRFD()), size(ARC2D()), size(Make()), size(Fsck())
+	if !(trfd < arc2d && trfd < fsck && arc2d < mk && fsck < mk) {
+		t.Fatalf("size ordering violated: trfd=%d arc2d=%d fsck=%d make=%d", trfd, arc2d, fsck, mk)
+	}
+}
+
+func TestScientificAppsAreLoopDominated(t *testing.T) {
+	// TRFD spends nearly all executed blocks inside loops (tight matrix
+	// kernels): walk it and check that most block events repeat.
+	app := Build("trfd", 9, TRFD())
+	w := trace.NewWalker(app.Prog, trace.DomainApp, rand.New(rand.NewSource(1)), nil)
+	events := w.StepN(20000, app.Mains[0], nil)
+	loops := cfa.AllLoops(app.Prog)
+	inLoop := map[int32]bool{}
+	for _, lp := range loops {
+		for _, b := range lp.Body {
+			inLoop[int32(b)] = true
+		}
+	}
+	var loopEvents int
+	for _, e := range events {
+		if inLoop[int32(e.Block())] {
+			loopEvents++
+		}
+	}
+	if f := float64(loopEvents) / float64(len(events)); f < 0.5 {
+		t.Fatalf("only %.0f%% of TRFD events in loops; expected loop-dominated", 100*f)
+	}
+}
+
+func TestMakeIsCallHeavy(t *testing.T) {
+	app := Build("make", 13, Make())
+	var calls int
+	for i := range app.Prog.Blocks {
+		if app.Prog.Blocks[i].HasCall {
+			calls++
+		}
+	}
+	if calls < 50 {
+		t.Fatalf("Make has %d call sites; expected a call-heavy program", calls)
+	}
+}

@@ -1,0 +1,405 @@
+// Package cache implements the set-associative instruction cache simulator
+// used to evaluate layouts, with the miss classification the paper's
+// analysis depends on: first-time (cold) misses, self-interference misses
+// (the missing domain itself displaced the line) and cross-interference
+// misses (the other domain displaced it). Replacement is LRU.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"oslayout/internal/trace"
+)
+
+// Policy selects the replacement policy of set-associative caches.
+type Policy uint8
+
+const (
+	// LRU replaces the least recently used way (the default; the policy
+	// assumed throughout the paper's evaluation).
+	LRU Policy = iota
+	// RandomReplacement replaces a uniformly random way, using a
+	// deterministic xorshift stream — an extension used by the ablation
+	// experiments to check that the layout results do not depend on LRU.
+	RandomReplacement
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == RandomReplacement {
+		return "random"
+	}
+	return "LRU"
+}
+
+// Config describes one cache organisation.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size int
+	// Line is the line (block) size in bytes.
+	Line int
+	// Assoc is the set associativity; 1 means direct-mapped.
+	Assoc int
+	// Policy is the replacement policy; the zero value is LRU.
+	Policy Policy
+}
+
+// String formats the organisation like "8KB/32B/direct-mapped".
+func (c Config) String() string {
+	way := fmt.Sprintf("%d-way", c.Assoc)
+	if c.Assoc == 1 {
+		way = "DM"
+	}
+	s := fmt.Sprintf("%dKB/%dB/%s", c.Size>>10, c.Line, way)
+	if c.Policy != LRU {
+		s += "/" + c.Policy.String()
+	}
+	return s
+}
+
+// Validate reports whether the organisation is realisable.
+func (c Config) Validate() error {
+	switch {
+	case c.Size <= 0 || c.Line <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("cache: non-positive parameter in %+v", c)
+	case bits.OnesCount(uint(c.Line)) != 1:
+		return fmt.Errorf("cache: line %d not a power of two", c.Line)
+	case c.Size%(c.Line*c.Assoc) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*assoc %d", c.Size, c.Line*c.Assoc)
+	}
+	return nil
+}
+
+// NumSets returns the number of sets.
+func (c Config) NumSets() int { return c.Size / (c.Line * c.Assoc) }
+
+// MissClass classifies the outcome of one line access.
+type MissClass uint8
+
+const (
+	// Hit: the line was resident.
+	Hit MissClass = iota
+	// ColdMiss: the line had never been referenced.
+	ColdMiss
+	// SelfMiss: the line was last displaced by the same domain.
+	SelfMiss
+	// CrossMiss: the line was last displaced by the other domain.
+	CrossMiss
+)
+
+// String names the class.
+func (m MissClass) String() string {
+	switch m {
+	case Hit:
+		return "hit"
+	case ColdMiss:
+		return "cold"
+	case SelfMiss:
+		return "self"
+	case CrossMiss:
+		return "cross"
+	default:
+		return fmt.Sprintf("MissClass(%d)", uint8(m))
+	}
+}
+
+// Stats accumulates per-domain reference and miss counts. Index by
+// trace.Domain.
+type Stats struct {
+	Refs   [trace.NumDomains]uint64
+	Misses [trace.NumDomains]uint64
+	Cold   [trace.NumDomains]uint64
+	Self   [trace.NumDomains]uint64
+	Cross  [trace.NumDomains]uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	for d := 0; d < trace.NumDomains; d++ {
+		s.Refs[d] += other.Refs[d]
+		s.Misses[d] += other.Misses[d]
+		s.Cold[d] += other.Cold[d]
+		s.Self[d] += other.Self[d]
+		s.Cross[d] += other.Cross[d]
+	}
+}
+
+// TotalRefs returns references summed over domains.
+func (s *Stats) TotalRefs() uint64 { return s.Refs[0] + s.Refs[1] }
+
+// TotalMisses returns misses summed over domains.
+func (s *Stats) TotalMisses() uint64 { return s.Misses[0] + s.Misses[1] }
+
+// MissRate returns the total miss rate in [0,1].
+func (s *Stats) MissRate() float64 {
+	if s.TotalRefs() == 0 {
+		return 0
+	}
+	return float64(s.TotalMisses()) / float64(s.TotalRefs())
+}
+
+// DomainMissRate returns the miss rate of one domain.
+func (s *Stats) DomainMissRate(d trace.Domain) float64 {
+	if s.Refs[d] == 0 {
+		return 0
+	}
+	return float64(s.Misses[d]) / float64(s.Refs[d])
+}
+
+const (
+	lineUnseen uint8 = iota
+	lineEvictedByOS
+	lineEvictedByApp
+)
+
+// Cache is one simulated instruction cache.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64 // sets-1 when the set count is a power of two
+	numSets   uint64
+	pow2      bool
+	assoc     int
+	// ways holds tags in LRU order per set: ways[set*assoc] is MRU.
+	ways  []uint64
+	valid []bool
+	// history maps line address to its eviction provenance for miss
+	// classification.
+	history map[uint64]uint8
+	// rng is the xorshift state for random replacement.
+	rng uint64
+	// useMask, when utilization tracking is enabled, holds one bit per
+	// word of each resident line, parallel to ways.
+	useMask []uint32
+	// Stats accumulates access outcomes.
+	Stats Stats
+	// Util accumulates line-utilization statistics when enabled.
+	Util UtilStats
+}
+
+// UtilStats measures cache-line utilization: of the words a line held while
+// resident, how many were actually fetched before the line was evicted.
+// Layouts with good spatial locality (the paper's sequences) raise this,
+// which is why their advantage grows with line size (Figure 17-a).
+type UtilStats struct {
+	// Evictions counts evicted lines (lines still resident at the end of a
+	// run are not counted).
+	Evictions uint64
+	// WordsUsed and WordsTotal accumulate the used and total word counts of
+	// evicted lines.
+	WordsUsed, WordsTotal uint64
+}
+
+// Utilization returns the mean fraction of line words used before eviction.
+func (u UtilStats) Utilization() float64 {
+	if u.WordsTotal == 0 {
+		return 0
+	}
+	return float64(u.WordsUsed) / float64(u.WordsTotal)
+}
+
+// New returns an empty cache of the given organisation.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.NumSets()
+	return &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.Line))),
+		setMask:   uint64(sets - 1),
+		numSets:   uint64(sets),
+		pow2:      bits.OnesCount(uint(sets)) == 1,
+		assoc:     cfg.Assoc,
+		ways:      make([]uint64, sets*cfg.Assoc),
+		valid:     make([]bool, sets*cfg.Assoc),
+		history:   make(map[uint64]uint8, 1<<12),
+		rng:       0x9E3779B97F4A7C15,
+	}, nil
+}
+
+// MustNew is New for configurations known valid at compile time.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache organisation.
+func (c *Cache) Config() Config { return c.cfg }
+
+// EnableUtilization turns on line-utilization tracking (a per-word use
+// bitmask per resident line). Must be called before any access.
+func (c *Cache) EnableUtilization() {
+	c.useMask = make([]uint32, len(c.ways))
+}
+
+// lineWords returns the number of instruction words per line.
+func (c *Cache) lineWords() int { return c.cfg.Line / trace.WordSize }
+
+// MarkWords records that words [from, to] (inclusive, line-relative) of the
+// given line were fetched. The line must be resident at the MRU position of
+// its set — i.e. call this immediately after AccessLine for the same line.
+func (c *Cache) MarkWords(line uint64, from, to int) {
+	if c.useMask == nil {
+		return
+	}
+	var set int
+	if c.pow2 {
+		set = int(line & c.setMask)
+	} else {
+		set = int(line % c.numSets)
+	}
+	base := set * c.assoc
+	if !c.valid[base] || c.ways[base] != line {
+		return
+	}
+	for w := from; w <= to && w < 32; w++ {
+		c.useMask[base] |= 1 << uint(w)
+	}
+}
+
+// LineOf returns the line address containing byte address a.
+func (c *Cache) LineOf(a uint64) uint64 { return a >> c.lineShift }
+
+// AccessLine touches the line with the given line address (byte address
+// divided by the line size) from the given domain, returning the outcome.
+// Reference counting is the caller's concern (a block execution references
+// each of its words once but touches each covered line once).
+func (c *Cache) AccessLine(line uint64, d trace.Domain) MissClass {
+	var set int
+	if c.pow2 {
+		set = int(line & c.setMask)
+	} else {
+		set = int(line % c.numSets)
+	}
+	base := set * c.assoc
+	// Search ways in LRU-order slice.
+	for i := 0; i < c.assoc; i++ {
+		if c.valid[base+i] && c.ways[base+i] == line {
+			// Move to front (MRU).
+			var mask uint32
+			if c.useMask != nil {
+				mask = c.useMask[base+i]
+			}
+			for j := i; j > 0; j-- {
+				c.ways[base+j] = c.ways[base+j-1]
+				c.valid[base+j] = c.valid[base+j-1]
+				if c.useMask != nil {
+					c.useMask[base+j] = c.useMask[base+j-1]
+				}
+			}
+			c.ways[base] = line
+			c.valid[base] = true
+			if c.useMask != nil {
+				c.useMask[base] = mask
+			}
+			return Hit
+		}
+	}
+	// Miss. Classify before filling.
+	var class MissClass
+	switch c.history[line] {
+	case lineUnseen:
+		class = ColdMiss
+		c.Stats.Cold[d]++
+	case lineEvictedByOS:
+		if d == trace.DomainOS {
+			class = SelfMiss
+			c.Stats.Self[d]++
+		} else {
+			class = CrossMiss
+			c.Stats.Cross[d]++
+		}
+	case lineEvictedByApp:
+		if d == trace.DomainApp {
+			class = SelfMiss
+			c.Stats.Self[d]++
+		} else {
+			class = CrossMiss
+			c.Stats.Cross[d]++
+		}
+	}
+	c.Stats.Misses[d]++
+	// Pick the victim way: LRU keeps ways in recency order so the last way
+	// is the victim; random replacement picks any way (preferring invalid
+	// ones so warm-up matches LRU).
+	victim := base + c.assoc - 1
+	if c.cfg.Policy == RandomReplacement && c.assoc > 1 {
+		victim = base
+		for i := 0; i < c.assoc; i++ {
+			if !c.valid[base+i] {
+				victim = base + i
+				break
+			}
+			victim = base + int(c.nextRand()%uint64(c.assoc))
+		}
+	}
+	if c.valid[victim] {
+		ev := lineEvictedByOS
+		if d == trace.DomainApp {
+			ev = lineEvictedByApp
+		}
+		c.history[c.ways[victim]] = ev
+		if c.useMask != nil {
+			c.Util.Evictions++
+			c.Util.WordsUsed += uint64(popcount32(c.useMask[victim]))
+			c.Util.WordsTotal += uint64(c.lineWords())
+		}
+	}
+	// Shift the recency order down to the victim slot and install the new
+	// line as MRU (harmless bookkeeping under random replacement).
+	for j := victim - base; j > 0; j-- {
+		c.ways[base+j] = c.ways[base+j-1]
+		c.valid[base+j] = c.valid[base+j-1]
+		if c.useMask != nil {
+			c.useMask[base+j] = c.useMask[base+j-1]
+		}
+	}
+	c.ways[base] = line
+	c.valid[base] = true
+	if c.useMask != nil {
+		c.useMask[base] = 0
+	}
+	if _, seen := c.history[line]; !seen {
+		// Mark as seen without fabricating an evictor: a line that is
+		// resident and later evicted gets its evictor recorded then. Use
+		// the accessing domain as a neutral placeholder — it is only read
+		// after an eviction overwrites it, except never.
+		c.history[line] = lineEvictedByOS
+		if d == trace.DomainApp {
+			c.history[line] = lineEvictedByApp
+		}
+	}
+	return class
+}
+
+// popcount32 counts set bits.
+func popcount32(x uint32) int { return bits.OnesCount32(x) }
+
+// nextRand steps the xorshift64* stream.
+func (c *Cache) nextRand() uint64 {
+	x := c.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Flush empties the cache but keeps history and statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Reset empties the cache and clears history and statistics.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.history = make(map[uint64]uint8, 1<<12)
+	c.Stats = Stats{}
+}

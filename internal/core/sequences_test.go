@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"oslayout/internal/program"
+	"oslayout/internal/progtest"
+)
+
+// fig9Entries maps the push_hrtime entry onto the interrupt seed slot.
+func fig9Entries(f *progtest.Figure9Fixture) [program.NumSeedClasses]program.BlockID {
+	var e [program.NumSeedClasses]program.BlockID
+	for c := range e {
+		e[c] = program.NoBlock
+	}
+	e[program.SeedInterrupt] = f.Node["push0"]
+	return e
+}
+
+// fig9Schedule is a two-pass schedule like the paper's worked example:
+// first a selective pass, then the catch-all (0,0) pass.
+func fig9Schedule() Schedule {
+	var row1, row2 [program.NumSeedClasses]Thresh
+	for c := range row1 {
+		row1[c] = inactive
+		row2[c] = inactive
+	}
+	row1[program.SeedInterrupt] = Thresh{Exec: 0.005, Branch: 0.1}
+	row2[program.SeedInterrupt] = Thresh{Exec: 0, Branch: 0}
+	return Schedule{row1, row2}
+}
+
+// TestFigure9SequenceConstruction replays the paper's Figure 9 example: the
+// greedy walk places caller blocks, inlines the callee routines' hot blocks
+// between them, resumes the caller at the continuation, and picks up the
+// leftover acceptable block (the paper's "node 16") by restarting from the
+// seed. The second, catch-all pass collects the rare blocks.
+func TestFigure9SequenceConstruction(t *testing.T) {
+	f := progtest.Figure9()
+	seqs, visited := BuildSequences(f.Prog, fig9Entries(f), fig9Schedule())
+	if len(seqs) != 2 {
+		t.Fatalf("built %d sequences, want 2", len(seqs))
+	}
+
+	names := func(s Sequence) []string {
+		rev := map[program.BlockID]string{}
+		for n, b := range f.Node {
+			rev[b] = n
+		}
+		var out []string
+		for _, b := range s.Blocks {
+			out = append(out, rev[b])
+		}
+		return out
+	}
+
+	want1 := []string{
+		"push0", "push1", "push4",
+		"push8", "read0", "read1", "read2", "read3",
+		"push9", "push10", "push11", "push12",
+		"check0", "check1", "check2", "check5",
+		"push13", "update0",
+		"push14", "push15", "push17", "push18", "push19",
+		"push16", // found by restarting from the seed
+	}
+	got1 := names(seqs[0])
+	if len(got1) != len(want1) {
+		t.Fatalf("pass 1 sequence:\n got %v\nwant %v", got1, want1)
+	}
+	for i := range want1 {
+		if got1[i] != want1[i] {
+			t.Fatalf("pass 1 sequence differs at %d:\n got %v\nwant %v", i, got1, want1)
+		}
+	}
+
+	want2 := map[string]bool{"push5": true, "push7": true, "check3": true, "check4": true}
+	got2 := names(seqs[1])
+	if len(got2) != len(want2) {
+		t.Fatalf("pass 2 sequence = %v, want the 4 rare blocks", got2)
+	}
+	for _, n := range got2 {
+		if !want2[n] {
+			t.Fatalf("pass 2 includes unexpected block %s", n)
+		}
+	}
+
+	for b := range f.Prog.Blocks {
+		if f.Prog.Blocks[b].Weight > 0 && !visited[b] {
+			t.Fatalf("executed block %d never placed in a sequence", b)
+		}
+	}
+}
+
+// TestSequenceBranchThreshold verifies that arcs below BranchThresh stop the
+// walk: with BranchThresh above the cold side's probability, the cold chain
+// is excluded from the first pass even though it meets ExecThresh.
+func TestSequenceBranchThreshold(t *testing.T) {
+	p, _ := progtest.Diamond(0.1)
+	// entry=0 (w100) splits 10/90 to a=1/b=2; join=3; exit=4.
+	ws := []uint64{100, 10, 90, 100, 100}
+	for i, w := range ws {
+		p.Blocks[i].Weight = w
+	}
+	p.Blocks[0].Out[0].Weight = 10
+	p.Blocks[0].Out[1].Weight = 90
+	p.Blocks[1].Out[0].Weight = 10
+	p.Blocks[2].Out[0].Weight = 90
+	p.Blocks[3].Out[0].Weight = 100
+
+	var entries [program.NumSeedClasses]program.BlockID
+	for c := range entries {
+		entries[c] = program.NoBlock
+	}
+	entries[0] = 0
+	var row [program.NumSeedClasses]Thresh
+	for c := range row {
+		row[c] = inactive
+	}
+	// ExecThresh 0 accepts every executed block; BranchThresh 0.5 only
+	// allows the hot arc out of the entry.
+	row[0] = Thresh{Exec: 0, Branch: 0.5}
+	seqs, _ := BuildSequences(p, entries, Schedule{row})
+	// Walk: 0 -> 2 (0.9) -> 3 (1.0) -> 4; block 1 is reachable only through
+	// a 0.1 arc, below BranchThresh, so neither the walk nor the restart
+	// reaches it. It is executed, so the leftover sweep collects it into a
+	// final sequence of its own.
+	if len(seqs) != 2 {
+		t.Fatalf("want main + leftover sequences, got %d", len(seqs))
+	}
+	want := []program.BlockID{0, 2, 3, 4}
+	got := seqs[0].Blocks
+	if len(got) != len(want) {
+		t.Fatalf("sequence %v, want %v", got, want)
+	}
+	for i, b := range want {
+		if got[i] != b {
+			t.Fatalf("sequence %v, want %v", got, want)
+		}
+	}
+	if len(seqs[1].Blocks) != 1 || seqs[1].Blocks[0] != 1 {
+		t.Fatalf("leftover sequence = %v, want [1]", seqs[1].Blocks)
+	}
+}
+
+// TestSequencesPruneUnexecuted verifies that never-executed blocks are not
+// placed in any sequence even at (0,0).
+func TestSequencesPruneUnexecuted(t *testing.T) {
+	p, _ := progtest.Linear(4, 8)
+	p.Blocks[0].Weight = 10
+	p.Blocks[1].Weight = 10
+	p.Blocks[0].Out[0].Weight = 10
+	var entries [program.NumSeedClasses]program.BlockID
+	for c := range entries {
+		entries[c] = program.NoBlock
+	}
+	entries[0] = 0
+	var row [program.NumSeedClasses]Thresh
+	for c := range row {
+		row[c] = inactive
+	}
+	row[0] = Thresh{Exec: 0, Branch: 0}
+	seqs, visited := BuildSequences(p, entries, Schedule{row})
+	var placed int
+	for _, s := range seqs {
+		placed += len(s.Blocks)
+	}
+	if placed != 2 {
+		t.Fatalf("placed %d blocks, want 2 (executed only)", placed)
+	}
+	if visited[2] || visited[3] {
+		t.Fatal("unexecuted blocks marked visited")
+	}
+}
+
+func TestStaggeredScheduleMatchesTable4(t *testing.T) {
+	s := Table4Schedule()
+	if len(s) != 6 {
+		t.Fatalf("%d iterations, want 6", len(s))
+	}
+	i, pf, sc, ot := program.SeedInterrupt, program.SeedPageFault, program.SeedSysCall, program.SeedOther
+	// Row 0: only interrupts, (1.4%, 40%).
+	if s[0][i] != (Thresh{0.014, 0.4}) {
+		t.Errorf("row0 interrupt = %+v", s[0][i])
+	}
+	for _, c := range []program.SeedClass{pf, sc, ot} {
+		if s[0][c].Exec >= 0 {
+			t.Errorf("row0 class %v should be inactive", c)
+		}
+	}
+	// Row 1: interrupts (0.5%, 10%), page faults (0.5%, 40%).
+	if s[1][i] != (Thresh{0.005, 0.1}) || s[1][pf] != (Thresh{0.005, 0.4}) {
+		t.Errorf("row1 = %+v / %+v", s[1][i], s[1][pf])
+	}
+	// Row 3: syscalls use branch[1] = 10%, other joins at 40%.
+	if s[3][sc] != (Thresh{0.0001, 0.1}) || s[3][ot] != (Thresh{0.0001, 0.4}) {
+		t.Errorf("row3 = %+v / %+v", s[3][sc], s[3][ot])
+	}
+	// Final row: everything at (0,0).
+	last := s[len(s)-1]
+	for c := 0; c < program.NumSeedClasses; c++ {
+		if last[c] != (Thresh{0, 0}) {
+			t.Errorf("final row class %d = %+v, want (0,0)", c, last[c])
+		}
+	}
+}
+
+func TestSeedAndMainEntries(t *testing.T) {
+	f := progtest.Figure9()
+	f.Prog.Seeds[program.SeedInterrupt] = f.Push
+	e := SeedEntries(f.Prog)
+	if e[program.SeedInterrupt] != f.Node["push0"] {
+		t.Fatal("SeedEntries wrong")
+	}
+	if e[program.SeedSysCall] != program.NoBlock {
+		t.Fatal("unset seeds should be NoBlock")
+	}
+	m := MainEntries(f.Prog, []program.RoutineID{f.Read, f.Check})
+	if m[0] != f.Node["read0"] || m[1] != f.Node["check0"] {
+		t.Fatal("MainEntries wrong")
+	}
+	if m[2] != program.NoBlock {
+		t.Fatal("extra main slots should be NoBlock")
+	}
+}
+
+func TestBuildSequencesCapped(t *testing.T) {
+	f := progtest.Figure9()
+	seqs, visited := BuildSequencesCapped(f.Prog, fig9Entries(f), fig9Schedule(), 64)
+	// Every sequence respects the cap (single oversized blocks excepted;
+	// the fixture's blocks are 16 bytes so none apply).
+	var placed int
+	for _, s := range seqs {
+		if s.Bytes > 64 {
+			t.Fatalf("sequence of %d bytes exceeds the 64-byte cap", s.Bytes)
+		}
+		placed += len(s.Blocks)
+	}
+	// Capping must not change WHAT is placed, only how it is chunked.
+	uncapped, _ := BuildSequences(f.Prog, fig9Entries(f), fig9Schedule())
+	var placedU int
+	for _, s := range uncapped {
+		placedU += len(s.Blocks)
+	}
+	if placed != placedU {
+		t.Fatalf("capped placement covers %d blocks, uncapped %d", placed, placedU)
+	}
+	for b := range f.Prog.Blocks {
+		if f.Prog.Blocks[b].Weight > 0 && !visited[b] {
+			t.Fatalf("executed block %d missing under capping", b)
+		}
+	}
+	// Order is preserved across chunk boundaries: flatten and compare.
+	flatten := func(ss []Sequence) []program.BlockID {
+		var out []program.BlockID
+		for _, s := range ss {
+			out = append(out, s.Blocks...)
+		}
+		return out
+	}
+	fc, fu := flatten(seqs), flatten(uncapped)
+	for i := range fu {
+		if fc[i] != fu[i] {
+			t.Fatalf("capped order diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package expt regenerates every table and figure of the paper's evaluation
+// from the synthetic study: one constructor per experiment, each returning a
+// renderable result with the same rows/series the paper reports. The
+// cmd/oslayout driver and the benchmark suite dispatch through Registry.
+package expt
+
+import (
+	"fmt"
+
+	"oslayout"
+	"oslayout/internal/cache"
+	"oslayout/internal/cfa"
+	"oslayout/internal/layout"
+	"oslayout/internal/simulate"
+)
+
+// DefaultCache is the evaluation's reference organisation: an 8 KB
+// direct-mapped cache with 32-byte lines (Section 5.1).
+var DefaultCache = cache.Config{Size: 8 << 10, Line: 32, Assoc: 1}
+
+// Options configures an experiment environment.
+type Options struct {
+	// OSRefs is the per-workload OS reference target. The default of 3M
+	// gives stable statistics in about a second of generation time.
+	OSRefs uint64
+	// KernelSeed overrides the kernel generation seed (default 1995).
+	KernelSeed int64
+}
+
+// Env is the shared environment of all experiments: one study plus caches of
+// derived layouts, reused across experiments to keep the full paper run
+// fast.
+type Env struct {
+	St *oslayout.Study
+
+	base  *layout.Layout
+	ch    *layout.Layout
+	plans map[string]*oslayout.Plan
+	// appBase[i] caches workload i's Base application layout.
+	appBase map[int]*layout.Layout
+	loops   []cfa.Loop
+}
+
+// NewEnv builds the environment: kernel, traces, profiles.
+func NewEnv(opt Options) (*Env, error) {
+	if opt.OSRefs == 0 {
+		opt.OSRefs = 3_000_000
+	}
+	kcfg := oslayout.DefaultKernelConfig()
+	if opt.KernelSeed != 0 {
+		kcfg.Seed = opt.KernelSeed
+	}
+	st, err := oslayout.NewStudy(oslayout.StudyOptions{
+		Kernel: kcfg,
+		Trace:  oslayout.TraceOptions{OSRefs: opt.OSRefs},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		St:      st,
+		plans:   make(map[string]*oslayout.Plan),
+		appBase: make(map[int]*layout.Layout),
+	}, nil
+}
+
+// Base returns the kernel's Base layout.
+func (e *Env) Base() *layout.Layout {
+	if e.base == nil {
+		e.base = e.St.BaseLayout()
+	}
+	return e.base
+}
+
+// CH returns the Chang-Hwu layout.
+func (e *Env) CH() (*layout.Layout, error) {
+	if e.ch == nil {
+		l, err := e.St.CHLayout()
+		if err != nil {
+			return nil, err
+		}
+		e.ch = l
+	}
+	return e.ch, nil
+}
+
+// plan memoises placement plans by a key.
+func (e *Env) plan(key string, build func() (*oslayout.Plan, error)) (*oslayout.Plan, error) {
+	if p, ok := e.plans[key]; ok {
+		return p, nil
+	}
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	e.plans[key] = p
+	return p, nil
+}
+
+// OptS returns the OptS plan for a cache size.
+func (e *Env) OptS(size int) (*oslayout.Plan, error) {
+	return e.plan(fmt.Sprintf("OptS/%d", size), func() (*oslayout.Plan, error) { return e.St.OptS(size) })
+}
+
+// OptL returns the OptL plan for a cache size.
+func (e *Env) OptL(size int) (*oslayout.Plan, error) {
+	return e.plan(fmt.Sprintf("OptL/%d", size), func() (*oslayout.Plan, error) { return e.St.OptL(size) })
+}
+
+// OptCall returns the Section 4.4 "Call" plan for a cache size.
+func (e *Env) OptCall(size int) (*oslayout.Plan, error) {
+	return e.plan(fmt.Sprintf("Call/%d", size), func() (*oslayout.Plan, error) { return e.St.OptCall(size) })
+}
+
+// OptSCutoff returns an OptS variant with a specific SelfConfFree cutoff
+// (used by the Figure 16 sweep); cutoff 0 disables the area ("None").
+func (e *Env) OptSCutoff(size int, cutoff float64) (*oslayout.Plan, error) {
+	key := fmt.Sprintf("OptS/%d/scf=%g", size, cutoff)
+	return e.plan(key, func() (*oslayout.Plan, error) {
+		p := oslayout.DefaultPlacementParams(size)
+		p.SelfConfFreeCutoff = cutoff
+		p.Name = fmt.Sprintf("OptS-scf%g", cutoff)
+		return e.St.Optimize(p)
+	})
+}
+
+// AppBase returns workload i's Base application layout (nil if none).
+func (e *Env) AppBase(i int) *layout.Layout {
+	if l, ok := e.appBase[i]; ok {
+		return l
+	}
+	l := e.St.AppBaseLayout(i)
+	e.appBase[i] = l
+	return l
+}
+
+// AppOpt returns workload i's optimised application layout aligned against
+// the given OS plan, or nil when the workload has no application.
+func (e *Env) AppOpt(i int, cacheSize int, osPlan *oslayout.Plan) (*layout.Layout, error) {
+	plan, err := e.St.AppOptLayout(i, cacheSize, oslayout.OSHotBytes(osPlan, cacheSize))
+	if err != nil || plan == nil {
+		return nil, err
+	}
+	return plan.Layout, nil
+}
+
+// Eval simulates workload i under the given layouts and cache.
+func (e *Env) Eval(i int, osL, appL *layout.Layout, cfg cache.Config) (*simulate.Result, error) {
+	return e.St.Evaluate(i, osL, appL, cfg)
+}
+
+// Workloads returns the workload names.
+func (e *Env) Workloads() []string { return e.St.WorkloadNames() }
+
+// ratio returns a/b as float, 0 when b is 0.
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// allLoops returns the kernel's natural loops (structural analysis,
+// profile-independent), cached on the environment.
+func allLoops(e *Env) []cfa.Loop {
+	if e.loops == nil {
+		e.loops = cfa.AllLoops(e.St.Kernel.Prog)
+	}
+	return e.loops
+}

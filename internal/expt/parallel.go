@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parEach runs f(0..n-1) concurrently, bounded by GOMAXPROCS workers, and
+// returns the first error. Cache simulations are pure (each run builds its
+// own cache and only reads the shared trace, layout and program), so the
+// sweep experiments fan their grid points out across cores. Plan and layout
+// CONSTRUCTION is not parallel-safe — it mutates the kernel program's
+// weight fields — so callers build all layouts first, then evaluate in
+// parallel.
+func parEach(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		next  int
+	)
+	grab := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if first != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := grab()
+				if !ok {
+					return
+				}
+				if err := f(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderer is the common interface of experiment results.
+type Renderer interface {
+	Render() string
+}
+
+// Runner computes one experiment on an environment.
+type Runner func(e *Env) (Renderer, error)
+
+// Registry maps experiment names (as accepted by cmd/oslayout) to runners.
+var Registry = map[string]Runner{
+	"table1": func(e *Env) (Renderer, error) { return e.RunTable1() },
+	"table2": func(e *Env) (Renderer, error) { return e.RunTable2() },
+	"table3": func(e *Env) (Renderer, error) { return e.RunTable3() },
+	"table4": func(e *Env) (Renderer, error) { return e.RunTable4() },
+	"fig1":   func(e *Env) (Renderer, error) { return e.RunFigure1() },
+	"fig2":   func(e *Env) (Renderer, error) { return e.RunFigure2() },
+	"fig3":   func(e *Env) (Renderer, error) { return e.RunFigure3() },
+	"fig4":   func(e *Env) (Renderer, error) { return e.RunFigure45() },
+	"fig5":   func(e *Env) (Renderer, error) { return e.RunFigure45() },
+	"fig6":   func(e *Env) (Renderer, error) { return e.RunFigure6() },
+	"fig7":   func(e *Env) (Renderer, error) { return e.RunFigure7() },
+	"fig8":   func(e *Env) (Renderer, error) { return e.RunFigure8() },
+	"fig12":  func(e *Env) (Renderer, error) { return e.RunFigure12() },
+	"fig13":  func(e *Env) (Renderer, error) { return e.RunFigure13() },
+	"fig14":  func(e *Env) (Renderer, error) { return e.RunFigure14() },
+	"fig15":  func(e *Env) (Renderer, error) { return e.RunFigure15() },
+	"fig16":  func(e *Env) (Renderer, error) { return e.RunFigure16() },
+	"fig17":  func(e *Env) (Renderer, error) { return e.RunFigure17() },
+	"fig18":  func(e *Env) (Renderer, error) { return e.RunFigure18() },
+
+	// Extensions beyond the paper (see EXPERIMENTS.md):
+	"xprofile":     func(e *Env) (Renderer, error) { return e.RunCrossProfile() },
+	"baselines":    func(e *Env) (Renderer, error) { return e.RunBaselines() },
+	"ablation":     func(e *Env) (Renderer, error) { return e.RunAblation() },
+	"cpus":         func(e *Env) (Renderer, error) { return e.RunMultiCPU() },
+	"policy":       func(e *Env) (Renderer, error) { return e.RunReplacementPolicy() },
+	"overhead":     func(e *Env) (Renderer, error) { return e.RunOverhead() },
+	"lineutil":     func(e *Env) (Renderer, error) { return e.RunLineUtil() },
+	"noise":        func(e *Env) (Renderer, error) { return e.RunNoise() },
+	"fragments":    func(e *Env) (Renderer, error) { return e.RunFragmentation() },
+	"sizemismatch": func(e *Env) (Renderer, error) { return e.RunSizeMismatch() },
+}
+
+// Names returns the registered experiment names in stable order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one registered experiment by name.
+func Run(e *Env, name string) (Renderer, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(e)
+}

@@ -1,0 +1,203 @@
+package kernelgen
+
+import (
+	"strings"
+	"testing"
+
+	"oslayout/internal/cfa"
+	"oslayout/internal/program"
+)
+
+// smallConfig keeps unit tests fast while exercising every code path.
+func smallConfig() Config {
+	return Config{Seed: 1, TotalCodeBytes: 250 << 10, PoolScale: 0.3}
+}
+
+func TestBuildValidates(t *testing.T) {
+	k := Build(smallConfig())
+	if err := k.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(smallConfig())
+	b := Build(smallConfig())
+	if a.Prog.NumBlocks() != b.Prog.NumBlocks() || a.Prog.CodeSize() != b.Prog.CodeSize() {
+		t.Fatal("same config produced different kernels")
+	}
+	for i := range a.Prog.Blocks {
+		if a.Prog.Blocks[i].Size != b.Prog.Blocks[i].Size {
+			t.Fatalf("block %d sizes differ", i)
+		}
+	}
+	c := Build(Config{Seed: 2, TotalCodeBytes: 250 << 10, PoolScale: 0.3})
+	if c.Prog.NumBlocks() == a.Prog.NumBlocks() && c.Prog.CodeSize() == a.Prog.CodeSize() {
+		t.Fatal("different seeds produced byte-identical kernels (suspicious)")
+	}
+}
+
+func TestSeedsPresent(t *testing.T) {
+	k := Build(smallConfig())
+	for c := 0; c < program.NumSeedClasses; c++ {
+		if k.Prog.Seeds[c] == program.NoRoutine {
+			t.Fatalf("seed class %v missing", program.SeedClass(c))
+		}
+	}
+	wantNames := map[program.SeedClass]string{
+		program.SeedInterrupt: "intr_entry",
+		program.SeedPageFault: "pf_entry",
+		program.SeedSysCall:   "syscall_entry",
+		program.SeedOther:     "trap_entry",
+	}
+	for c, n := range wantNames {
+		if got := k.RoutineName(k.Prog.Seeds[c]); got != n {
+			t.Errorf("seed %v routine = %q, want %q", c, got, n)
+		}
+	}
+}
+
+func TestDispatchMetadata(t *testing.T) {
+	k := Build(smallConfig())
+	want := map[string][]string{
+		"interrupt": InterruptNames,
+		"pagefault": PageFaultNames,
+		"syscall":   SyscallNames,
+		"other":     OtherNames,
+	}
+	for name, targets := range want {
+		info, ok := k.Dispatches[name]
+		if !ok {
+			t.Fatalf("dispatch %q missing", name)
+		}
+		if len(info.Targets) != len(targets) {
+			t.Fatalf("dispatch %q has %d targets, want %d", name, len(info.Targets), len(targets))
+		}
+		blk := k.Prog.Block(info.Block)
+		if blk.Dispatch != info.ID {
+			t.Fatalf("dispatch %q block does not carry its ID", name)
+		}
+		if len(blk.Out) != len(targets) {
+			t.Fatalf("dispatch %q block has %d arcs, want %d", name, len(blk.Out), len(targets))
+		}
+		for i, target := range targets {
+			arc, err := info.ArcOf(target)
+			if err != nil {
+				t.Fatalf("dispatch %q: %v", name, err)
+			}
+			if arc != i {
+				t.Fatalf("dispatch %q target %q at arc %d, want %d", name, target, arc, i)
+			}
+			// The stub the arc leads to must call the right handler.
+			stub := k.Prog.Block(blk.Out[arc].To)
+			if !stub.HasCall {
+				t.Fatalf("dispatch %q arc %d leads to a non-call block", name, arc)
+			}
+		}
+		if _, err := info.ArcOf("no-such-target"); err == nil {
+			t.Fatalf("dispatch %q accepted a bogus target", name)
+		}
+	}
+}
+
+func TestSyscallStubsCallTheirHandlers(t *testing.T) {
+	k := Build(smallConfig())
+	info := k.Dispatches["syscall"]
+	blk := k.Prog.Block(info.Block)
+	for i, name := range info.Targets {
+		stub := k.Prog.Block(blk.Out[i].To)
+		handler := k.Routines["sys_"+name]
+		if stub.Call.Callee != handler {
+			t.Fatalf("syscall %q stub calls %q", name,
+				k.Prog.Routine(stub.Call.Callee).Name)
+		}
+	}
+}
+
+func TestCodeSizeTargetReached(t *testing.T) {
+	cfg := smallConfig()
+	k := Build(cfg)
+	if got := k.Prog.CodeSize(); got < cfg.TotalCodeBytes {
+		t.Fatalf("code size %d below target %d", got, cfg.TotalCodeBytes)
+	}
+	if got := k.Prog.CodeSize(); got > cfg.TotalCodeBytes+4096 {
+		t.Fatalf("code size %d wildly exceeds target %d", got, cfg.TotalCodeBytes)
+	}
+}
+
+func TestLinkOrderIntersperesColdTail(t *testing.T) {
+	k := Build(smallConfig())
+	order := k.Prog.Order()
+	if len(order) != k.Prog.NumRoutines() {
+		t.Fatal("link order wrong length")
+	}
+	// The cold tail must not be a contiguous suffix: check that a
+	// cold_tail routine appears in the first half of the order.
+	half := order[:len(order)/2]
+	found := false
+	for _, r := range half {
+		if strings.HasPrefix(k.Prog.Routine(r).Name, "cold_tail") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("cold tail not interspersed through the image")
+	}
+}
+
+func TestKernelHasBothLoopKinds(t *testing.T) {
+	k := Build(smallConfig())
+	loops := cfa.AllLoops(k.Prog)
+	var callFree, withCalls int
+	for _, lp := range loops {
+		if lp.CallsRoutines {
+			withCalls++
+		} else {
+			callFree++
+		}
+	}
+	if callFree < 20 {
+		t.Errorf("only %d call-free loops; kernel should have many (paper: 156)", callFree)
+	}
+	if withCalls < 10 {
+		t.Errorf("only %d loops with calls; kernel should have many (paper: 71)", withCalls)
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	k := Build(Config{Seed: 5})
+	if k.Prog.CodeSize() < 900<<10 {
+		t.Fatalf("default code size %d, want ~940KB", k.Prog.CodeSize())
+	}
+}
+
+func TestRoutinesIndexComplete(t *testing.T) {
+	k := Build(smallConfig())
+	if len(k.Routines) != k.Prog.NumRoutines() {
+		t.Fatalf("name index has %d entries for %d routines", len(k.Routines), k.Prog.NumRoutines())
+	}
+	for _, n := range []string{"spin_lock", "push_hrtime", "namei", "vm_fault", "exit_vm", "bcopy"} {
+		if _, ok := k.Routines[n]; !ok {
+			t.Errorf("routine %q missing from the kernel", n)
+		}
+	}
+}
+
+func TestFigure9RoutinesPresent(t *testing.T) {
+	// The paper's Figure 9 example routines must exist with the documented
+	// call relationships: push_hrtime calls read_hrc, check_curtimer and
+	// update_hrtimer.
+	k := Build(smallConfig())
+	cg := cfa.CallGraph(k.Prog)
+	push := k.Routines["push_hrtime"]
+	callees := map[string]bool{}
+	for _, c := range cg[push] {
+		callees[k.Prog.Routine(c).Name] = true
+	}
+	for _, want := range []string{"read_hrc", "check_curtimer", "update_hrtimer"} {
+		if !callees[want] {
+			t.Errorf("push_hrtime does not call %s (calls: %v)", want, callees)
+		}
+	}
+}

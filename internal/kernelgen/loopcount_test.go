@@ -1,0 +1,30 @@
+package kernelgen
+
+import (
+	"testing"
+
+	"oslayout/internal/cfa"
+)
+
+// TestLoopPopulation checks that the default kernel carries a loop
+// population of the same order as the paper's measurements (156 executed
+// call-free loops, 71 loops with calls).
+func TestLoopPopulation(t *testing.T) {
+	k := Build(DefaultConfig())
+	loops := cfa.AllLoops(k.Prog)
+	var cf, wc int
+	for _, lp := range loops {
+		if lp.CallsRoutines {
+			wc++
+		} else {
+			cf++
+		}
+	}
+	t.Logf("call-free loops: %d (paper 156 executed), with calls: %d (paper 71)", cf, wc)
+	if cf < 80 {
+		t.Errorf("call-free loops = %d, want >= 80", cf)
+	}
+	if wc < 40 {
+		t.Errorf("loops with calls = %d, want >= 40", wc)
+	}
+}

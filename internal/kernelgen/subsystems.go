@@ -1,0 +1,631 @@
+package kernelgen
+
+import (
+	"fmt"
+
+	"oslayout/internal/program"
+	"oslayout/internal/synth"
+)
+
+// spec is the concise description of one named kernel routine.
+type spec struct {
+	name string
+	// hot is the hot-path length in steps.
+	hot int
+	// calls are callee routine names spread evenly along the hot path.
+	calls []string
+	// loops embeds this many sampled call-free loops.
+	loops int
+	// callLoop, if non-empty, embeds one loop calling these routines each
+	// iteration (a paper-style "loop with procedure calls").
+	callLoop []string
+	// callLoopIters overrides the sampled iteration mean when > 0.
+	callLoopIters float64
+	// cond are callee names reached through conditional call sites (taken
+	// with a sampled probability): the mechanism that gives the kernel a
+	// large executed footprint across many invocations without every
+	// invocation walking the whole call tree.
+	cond []string
+	// tiny marks small leaf routines: minimal decoration, no cold chains.
+	tiny bool
+}
+
+// fillSpec synthesizes the body of a named routine from its spec.
+func fillSpec(b *synth.Builder, s spec) {
+	id := b.Get(s.name)
+	opt := synth.Ropt{
+		HotLen:          s.hot,
+		ColdBranchProb:  0.30,
+		DiamondProb:     0.18,
+		EarlyReturnProb: 0.12,
+	}
+	if s.tiny {
+		opt.ColdBranchProb = 0.05
+		opt.DiamondProb = 0.05
+		opt.EarlyReturnProb = 0
+		opt.NoColdCalls = true
+	}
+	for i, c := range s.calls {
+		pos := (i + 1) * s.hot / (len(s.calls) + 1)
+		opt.Calls = append(opt.Calls, synth.CallAt{Pos: pos, Callee: b.Get(c)})
+	}
+	for _, c := range s.cond {
+		opt.CondCalls = append(opt.CondCalls, synth.CondCallAt{
+			Pos:    b.Rng.Intn(s.hot),
+			Callee: b.Get(c),
+			Prob:   0.08 + 0.4*b.Rng.Float64(),
+		})
+	}
+	if !s.tiny {
+		// Ordinary kernel routines bracket their critical sections with the
+		// tiny leaf primitives (locks, priority levels). These ubiquitous
+		// calls are what gives the hottest basic blocks their extreme skew
+		// (Figure 8: the top block reaches 5% of all block invocations) and
+		// the temporal locality of Figures 6-7.
+		addPair := func(enter, exit string, p float64) {
+			if b.Rng.Float64() >= p {
+				return
+			}
+			i := b.Rng.Intn(s.hot)
+			j := i
+			if span := s.hot - i - 1; span > 0 {
+				j = i + 1 + b.Rng.Intn(span)
+			}
+			opt.Calls = append(opt.Calls,
+				synth.CallAt{Pos: i, Callee: b.Get(enter)},
+				synth.CallAt{Pos: j, Callee: b.Get(exit)})
+		}
+		addPair("spin_lock", "spin_unlock", 0.70)
+		addPair("mutex_enter", "mutex_exit", 0.25)
+		addPair("spl_raise", "spl_lower", 0.25)
+		nleaf := 2 + b.Rng.Intn(3)
+		for l := 0; l < nleaf; l++ {
+			opt.Calls = append(opt.Calls, synth.CallAt{
+				Pos:    b.Rng.Intn(s.hot),
+				Callee: b.Get(leafHelperNames[b.Rng.Intn(len(leafHelperNames))]),
+			})
+		}
+	}
+	for i := 0; i < s.loops; i++ {
+		opt.Loops = append(opt.Loops, b.SampleLoopSpec())
+	}
+	if len(s.callLoop) > 0 {
+		iters := s.callLoopIters
+		if iters == 0 {
+			iters = b.SampleCallLoopIters()
+		}
+		cl := synth.CallLoopSpec{MeanIters: iters}
+		for _, c := range s.callLoop {
+			cl.Callees = append(cl.Callees, b.Get(c))
+		}
+		opt.CallLoops = append(opt.CallLoops, cl)
+	}
+	b.Fill(id, opt)
+}
+
+// coldHelperNames are the log/assert helpers cold chains may call; they
+// execute rarely but not never, contributing to the paper's "OtherSeq" mass.
+var coldHelperNames = []string{"klog", "kprintf", "assert_warn"}
+
+// leafHelperNames are tiny utility leaves called from nearly every kernel
+// routine (list and queue manipulation, hashing, permission checks, counter
+// updates). Together with the lock primitives they form the extremely
+// skewed top of the block-invocation distribution (Figure 8) and the
+// temporal locality the SelfConfFree area exploits.
+var leafHelperNames = []string{
+	"list_insert", "list_remove", "hashfn", "cred_check", "cnt_incr",
+	"q_get", "q_put", "copyseg", "bit_set", "range_check",
+}
+
+// declPool declares n generic service routines with the given prefix and
+// returns their names in declaration (Base layout) order.
+func declPool(b *synth.Builder, prefix string, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s_svc%d", prefix, i)
+		b.Decl(names[i])
+	}
+	return names
+}
+
+// fillPool synthesizes pool routine bodies. Routine i may call routines
+// 0..i-1 of the same pool plus the given leaves, keeping the call graph
+// acyclic. Shapes are randomised: most routines are loop-less deterministic
+// chains (the paper: "plenty of loop-less code hampers temporal locality"),
+// some contain call-free loops, a few contain loops with calls.
+func fillPool(b *synth.Builder, names []string, leaves []string) {
+	for i, name := range names {
+		// Deeper pool members are reached from shallower ones through
+		// conditional call sites, so handler entry points (which call the
+		// first few pool routines) transitively expose most of a subsystem
+		// while individual invocations execute only part of it.
+		deeper := names[i+1:]
+		s := spec{name: name, hot: 6 + b.Rng.Intn(14)}
+		ncond := 1 + b.Rng.Intn(2)
+		for c := 0; c < ncond && len(deeper) > 0; c++ {
+			s.cond = append(s.cond, deeper[b.Rng.Intn(len(deeper))])
+		}
+		if len(leaves) > 0 && b.Rng.Float64() < 0.5 {
+			s.calls = append(s.calls, leaves[b.Rng.Intn(len(leaves))])
+		}
+		if b.Rng.Float64() < 0.35 {
+			s.loops = 1
+		}
+		// Call loops live only in the pool's third quarter and iterate over
+		// routines in its last quarter. The first-quarter members (the ones
+		// named handlers and other call-loop bodies invoke directly) own no
+		// loops, and last-quarter members own nothing at all, so call loops
+		// never nest and multiply their iteration counts into
+		// unrealistically long invocations.
+		tailStart := len(names) * 3 / 4
+		if i >= len(names)/2 && i < tailStart && b.Rng.Float64() < 0.8 {
+			shallow := names[tailStart:]
+			s.callLoop = append(s.callLoop, shallow[b.Rng.Intn(len(shallow))])
+			s.callLoopIters = 2 + b.Rng.Float64()*8
+		}
+		fillSpec(b, s)
+	}
+}
+
+// seedTarget pairs a workload-visible dispatch target name with the handler
+// routine it invokes.
+type seedTarget struct{ name, routine string }
+
+// fillSeed synthesizes a seed routine: a prologue performing the
+// user/system transition (calling the given helpers), a dispatch block whose
+// arc is chosen by the workload, one call stub per target, and a shared
+// epilogue. These correspond to the assembly-written "starting points of
+// common operating system functions" of Section 3.2.1.
+func fillSeed(b *synth.Builder, k *Kernel, dispatchName, routineName string, prologue []string, targets []seedTarget, epilogue []string) {
+	id := b.Get(routineName)
+	b.MarkFilled(id)
+	p := b.P
+
+	cur := p.AddBlock(id, b.HotSize())
+	for _, pc := range prologue {
+		next := p.AddBlock(id, b.HotSize())
+		p.SetCall(cur, b.Get(pc), next)
+		cur = next
+	}
+	dispatch := cur
+	did := p.SetDispatch(dispatch)
+
+	epi := p.AddBlock(id, b.HotSize())
+
+	info := &DispatchInfo{Block: dispatch, ID: did}
+	uniform := 1.0 / float64(len(targets))
+	for _, t := range targets {
+		stub := p.AddBlock(id, b.HotSize())
+		p.AddArc(dispatch, stub, program.ArcBranch, uniform)
+		p.SetCall(stub, b.Get(t.routine), epi)
+		info.Targets = append(info.Targets, t.name)
+	}
+	cur = epi
+	for _, ec := range epilogue {
+		next := p.AddBlock(id, b.HotSize())
+		p.SetCall(cur, b.Get(ec), next)
+		cur = next
+	}
+	ret := p.AddBlock(id, b.HotSize())
+	p.AddArc(cur, ret, program.ArcFallthrough, 1.0)
+	k.Dispatches[dispatchName] = info
+}
+
+// scale applies the pool scale factor. The floor of 8 keeps every pool
+// index used by the handler specs valid at any scale.
+func scale(n int, f float64) int {
+	v := int(float64(n)*f + 0.5)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// SyscallNames lists the system calls the synthetic kernel implements, in
+// dispatch-table order. Workloads refer to these names.
+var SyscallNames = []string{
+	"read", "write", "open", "close", "stat", "fstat", "lseek", "dup",
+	"pipe", "fcntl", "ioctl", "access", "chdir", "chmod", "chown",
+	"unlink", "link", "rename", "mkdir", "rmdir", "readlink",
+	"fork", "execve", "exit", "wait4", "kill", "sigaction",
+	"brk", "mmap", "munmap", "getpid", "getuid", "umask",
+	"gettimeofday", "setitimer", "select", "socket", "send", "recv", "fsync",
+}
+
+// InterruptNames lists the interrupt dispatch targets.
+var InterruptNames = []string{"clock", "ipi", "sync", "disk", "net", "tty", "soft"}
+
+// PageFaultNames lists the page-fault dispatch targets.
+var PageFaultNames = []string{"tlbmiss", "pagein", "cow", "zfod", "prot", "stackgrow"}
+
+// OtherNames lists the "other invocation" dispatch targets.
+var OtherNames = []string{"ctxsw", "fpemul", "signal", "misctrap"}
+
+// describeKernel declares and fills every routine of the synthetic kernel.
+// Declaration order is Base layout (link) order: low-level assembly first,
+// then kernel libraries and subsystems, with cold driver mass interspersed —
+// so hot routines in different subsystems land far apart, producing the
+// Base-layout conflict peaks of Figure 1.
+func describeKernel(b *synth.Builder, k *Kernel, cfg Config) {
+	// --- Phase 1: declarations in link order. ---
+
+	// locore.s: entry seeds and context primitives.
+	for _, n := range []string{"intr_entry", "pf_entry", "syscall_entry", "trap_entry",
+		"save_regs", "restore_regs", "spl_raise", "spl_lower", "tlb_inval", "swtch_asm"} {
+		b.Decl(n)
+	}
+	// libkern: arithmetic and memory helpers (the paper's mul/div peak).
+	for _, n := range []string{"mulsi3", "divsi3", "udivsi3", "bcopy", "bzero", "memcmp_k", "strlen_k", "cksum"} {
+		b.Decl(n)
+	}
+	// locks.
+	for _, n := range []string{"spin_lock", "spin_unlock", "mutex_enter", "mutex_exit"} {
+		b.Decl(n)
+	}
+	// ubiquitous tiny utility leaves.
+	for _, n := range leafHelperNames {
+		b.Decl(n)
+	}
+	// cold helpers callable from error paths.
+	for _, n := range coldHelperNames {
+		b.Decl(n)
+	}
+	// timer (the paper's push_hrtime/read_hrc/check_curtimer/update_hrtimer
+	// example, Figure 9).
+	for _, n := range []string{"read_hrc", "check_curtimer", "update_hrtimer", "push_hrtime",
+		"timeout_check", "hardclock", "softclock"} {
+		b.Decl(n)
+	}
+	// scheduler.
+	for _, n := range []string{"setrq", "remrq", "pick_cpu", "resched", "swtch",
+		"sleep", "wakeup", "ctxsw_handler"} {
+		b.Decl(n)
+	}
+	schedPool := declPool(b, "sched", scale(16, cfg.PoolScale))
+	// multiprocessor synchronisation.
+	for _, n := range []string{"ipi_send", "ipi_handler", "barrier_wait"} {
+		b.Decl(n)
+	}
+	syncPool := declPool(b, "sync", scale(12, cfg.PoolScale))
+	// a first chunk of cold driver code separates low-level code from VM.
+	nColdA := scale(60, cfg.PoolScale)
+	for i := 0; i < nColdA; i++ {
+		b.Decl(fmt.Sprintf("colddrvA%d", i))
+	}
+	// virtual memory.
+	for _, n := range []string{"vmmap_lookup", "page_lookup", "page_alloc", "page_free",
+		"pmap_enter", "pmap_remove", "zero_fill_page", "cow_copy", "vm_fault",
+		"tlb_miss_fast", "page_in", "cow_fault", "zero_fill_fault", "prot_fault", "stack_grow"} {
+		b.Decl(n)
+	}
+	vmPool := declPool(b, "vm", scale(56, cfg.PoolScale))
+	// processes and signals.
+	for _, n := range []string{"sig_check", "signal_deliver", "proc_dup", "exit_vm",
+		"fp_emul", "misc_trap"} {
+		b.Decl(n)
+	}
+	procPool := declPool(b, "proc", scale(40, cfg.PoolScale))
+	// syscall support.
+	for _, n := range []string{"copyin", "copyout", "fd_lookup", "falloc", "uiomove"} {
+		b.Decl(n)
+	}
+	syscPool := declPool(b, "sysc", scale(60, cfg.PoolScale))
+	// syscall handlers.
+	for _, n := range SyscallNames {
+		b.Decl("sys_" + n)
+	}
+	// file system.
+	for _, n := range []string{"namei", "dirlookup", "iget", "iput", "bmap",
+		"getblk", "brelse", "bread", "bwrite", "disk_strategy", "fs_read", "fs_write",
+		"balloc", "ialloc"} {
+		b.Decl(n)
+	}
+	fsPool := declPool(b, "fs", scale(68, cfg.PoolScale))
+	// second cold chunk.
+	nColdB := scale(60, cfg.PoolScale)
+	for i := 0; i < nColdB; i++ {
+		b.Decl(fmt.Sprintf("colddrvB%d", i))
+	}
+	// network.
+	for _, n := range []string{"mbuf_alloc", "mbuf_free", "udp_output", "udp_input",
+		"so_send", "so_recv", "net_intr"} {
+		b.Decl(n)
+	}
+	netPool := declPool(b, "net", scale(36, cfg.PoolScale))
+	// tty and disk I/O.
+	for _, n := range []string{"tty_read", "tty_write", "tty_intr", "disk_intr"} {
+		b.Decl(n)
+	}
+	ioPool := declPool(b, "io", scale(20, cfg.PoolScale))
+
+	// Cold chains across the kernel may call the log helpers.
+	for _, n := range coldHelperNames {
+		b.ColdCallees = append(b.ColdCallees, b.Get(n))
+	}
+
+	// --- Phase 2: bodies. ---
+
+	// Tiny assembly leaves.
+	for _, s := range []spec{
+		{name: "save_regs", hot: 2, tiny: true},
+		{name: "restore_regs", hot: 2, tiny: true},
+		{name: "spl_raise", hot: 1, tiny: true},
+		{name: "spl_lower", hot: 1, tiny: true},
+		{name: "tlb_inval", hot: 2, tiny: true},
+		{name: "swtch_asm", hot: 4, tiny: true},
+		{name: "mulsi3", hot: 3, tiny: true},
+		{name: "spin_unlock", hot: 1, tiny: true},
+		{name: "mutex_exit", hot: 2, calls: []string{"spin_unlock"}, tiny: true},
+	} {
+		fillSpec(b, s)
+	}
+	b.Fill(b.Get("udivsi3"), synth.Ropt{HotLen: 2, Loops: []synth.LoopSpec{{Blocks: 1, MeanIters: 8}}, NoColdCalls: true})
+	fillSpec(b, spec{name: "divsi3", hot: 2, calls: []string{"udivsi3"}, tiny: true})
+	// spin_lock: a tiny spin loop, usually zero extra spins.
+	b.Fill(b.Get("spin_lock"), synth.Ropt{HotLen: 2, Loops: []synth.LoopSpec{{Blocks: 1, MeanIters: 1.2}}, NoColdCalls: true})
+	fillSpec(b, spec{name: "mutex_enter", hot: 2, calls: []string{"spin_lock"}, tiny: true})
+	// memory helpers: the classic short copy/zero loops of Figure 4's tail.
+	b.Fill(b.Get("bcopy"), synth.Ropt{HotLen: 2, Loops: []synth.LoopSpec{{Blocks: 2, MeanIters: 24}}, NoColdCalls: true})
+	b.Fill(b.Get("bzero"), synth.Ropt{HotLen: 2, Loops: []synth.LoopSpec{{Blocks: 1, MeanIters: 40}}, NoColdCalls: true})
+	b.Fill(b.Get("memcmp_k"), synth.Ropt{HotLen: 1, Loops: []synth.LoopSpec{{Blocks: 2, MeanIters: 6}}, NoColdCalls: true})
+	b.Fill(b.Get("strlen_k"), synth.Ropt{HotLen: 1, Loops: []synth.LoopSpec{{Blocks: 1, MeanIters: 8}}, NoColdCalls: true})
+	b.Fill(b.Get("cksum"), synth.Ropt{HotLen: 2, Loops: []synth.LoopSpec{{Blocks: 2, MeanIters: 64}}, NoColdCalls: true})
+	// Cold helpers: moderately sized, loop-less.
+	for _, n := range coldHelperNames {
+		fillSpec(b, spec{name: n, hot: 6, tiny: true})
+	}
+	// Ubiquitous tiny utility leaves: one to three hot blocks each.
+	for _, n := range leafHelperNames {
+		fillSpec(b, spec{name: n, hot: 1 + b.Rng.Intn(3), tiny: true})
+	}
+
+	// Timer subsystem (Figure 9's routines, with the mul/div dependency the
+	// paper blames for the biggest Base-layout miss peak).
+	for _, s := range []spec{
+		{name: "read_hrc", hot: 3, calls: []string{"mulsi3"}, tiny: true},
+		{name: "check_curtimer", hot: 5, calls: []string{"divsi3"}},
+		{name: "update_hrtimer", hot: 4, calls: []string{"mulsi3"}},
+		{name: "push_hrtime", hot: 8, calls: []string{"read_hrc", "check_curtimer", "update_hrtimer"}},
+		{name: "timeout_check", hot: 5, calls: []string{"spin_lock", "spin_unlock"}, loops: 1},
+		{name: "hardclock", hot: 9, calls: []string{"spl_raise", "push_hrtime", "timeout_check", "spl_lower"}},
+		{name: "softclock", hot: 6, calls: []string{"timeout_check"}, loops: 1},
+	} {
+		fillSpec(b, s)
+	}
+
+	// Scheduler.
+	fillPool(b, schedPool, []string{"spin_lock", "spin_unlock", "mulsi3"})
+	for _, s := range []spec{
+		{name: "setrq", hot: 4, calls: []string{"spin_lock", "spin_unlock"}, tiny: true},
+		{name: "remrq", hot: 4, calls: []string{"spin_lock", "spin_unlock"}, tiny: true},
+		{name: "pick_cpu", hot: 3, loops: 1, tiny: true},
+		{name: "resched", hot: 7, calls: []string{"pick_cpu", "setrq", schedPool[0]}},
+		{name: "swtch", hot: 8, calls: []string{"save_regs", "remrq", "pick_cpu", "swtch_asm", "restore_regs"}},
+		{name: "sleep", hot: 7, calls: []string{"spin_lock", "swtch", "spin_unlock"}},
+		{name: "wakeup", hot: 5, calls: []string{"spin_lock"}, callLoop: []string{"setrq"}, callLoopIters: 2.5},
+		{name: "ctxsw_handler", hot: 6, calls: []string{"resched", "swtch", schedPool[1]}},
+	} {
+		fillSpec(b, s)
+	}
+
+	// Multiprocessor synchronisation.
+	fillPool(b, syncPool, []string{"spin_lock", "spin_unlock"})
+	for _, s := range []spec{
+		{name: "ipi_send", hot: 4, calls: []string{"spl_raise", "spl_lower"}, tiny: true},
+		{name: "ipi_handler", hot: 6, calls: []string{"spin_lock", "tlb_inval", "spin_unlock", syncPool[len(syncPool)-1]}},
+		{name: "barrier_wait", hot: 4, calls: []string{"spin_lock", "spin_unlock"}, loops: 1},
+	} {
+		fillSpec(b, s)
+	}
+
+	// Cold driver chunk A.
+	for i := 0; i < nColdA; i++ {
+		b.FillCold(b.Get(fmt.Sprintf("colddrvA%d", i)), 6+b.Rng.Intn(30))
+	}
+
+	// Virtual memory.
+	fillPool(b, vmPool, []string{"spin_lock", "spin_unlock", "bzero", "bcopy", "mulsi3"})
+	for _, s := range []spec{
+		{name: "vmmap_lookup", hot: 4, loops: 1, calls: []string{"spin_lock", "spin_unlock"}},
+		{name: "page_lookup", hot: 5, calls: []string{"mulsi3", "spin_lock", "spin_unlock"}},
+		{name: "page_alloc", hot: 6, calls: []string{"spin_lock", "spin_unlock", vmPool[0]}},
+		{name: "page_free", hot: 5, calls: []string{"spin_lock", "spin_unlock"}},
+		{name: "pmap_enter", hot: 7, calls: []string{"spin_lock", "tlb_inval", "spin_unlock", vmPool[1]}},
+		{name: "pmap_remove", hot: 6, calls: []string{"spin_lock", "tlb_inval", "spin_unlock"}},
+		{name: "zero_fill_page", hot: 3, calls: []string{"page_alloc", "bzero"}},
+		{name: "cow_copy", hot: 5, calls: []string{"page_alloc", "bcopy", "pmap_enter"}},
+		{name: "vm_fault", hot: 10, calls: []string{"vmmap_lookup", "page_lookup", vmPool[2]}},
+		{name: "tlb_miss_fast", hot: 5, calls: []string{"page_lookup", "tlb_inval"}, tiny: true},
+		{name: "page_in", hot: 9, calls: []string{"vm_fault", "page_alloc", "bread", "pmap_enter", vmPool[3]}},
+		{name: "cow_fault", hot: 7, calls: []string{"vm_fault", "cow_copy", vmPool[4]}},
+		{name: "zero_fill_fault", hot: 6, calls: []string{"vm_fault", "zero_fill_page", "pmap_enter"}},
+		{name: "prot_fault", hot: 8, calls: []string{"vm_fault", "sig_check"}},
+		{name: "stack_grow", hot: 6, calls: []string{"vmmap_lookup", "zero_fill_page", "pmap_enter"}},
+	} {
+		fillSpec(b, s)
+	}
+
+	// Processes and signals. exit_vm contains the paper's flagship
+	// loop-with-calls: freeing every page of a dying process.
+	fillPool(b, procPool, []string{"spin_lock", "spin_unlock", "bcopy", "bzero"})
+	for _, s := range []spec{
+		{name: "sig_check", hot: 4, tiny: true},
+		{name: "signal_deliver", hot: 8, calls: []string{"spin_lock", "spin_unlock", "copyout", procPool[0]}},
+		{name: "proc_dup", hot: 9, calls: []string{"page_alloc", procPool[1]},
+			callLoop: []string{"page_alloc", "bcopy", "pmap_enter"}, callLoopIters: 8},
+		{name: "exit_vm", hot: 8, calls: []string{procPool[2]},
+			callLoop: []string{"pmap_remove", "page_free"}, callLoopIters: 10},
+		{name: "fp_emul", hot: 7, calls: []string{"mulsi3", "divsi3", "mulsi3"}},
+		{name: "misc_trap", hot: 6, calls: []string{"sig_check", procPool[3]}},
+	} {
+		fillSpec(b, s)
+	}
+
+	// Syscall support.
+	fillPool(b, syscPool, []string{"spin_lock", "spin_unlock", "bcopy", "memcmp_k"})
+	for _, s := range []spec{
+		{name: "copyin", hot: 3, calls: []string{"bcopy"}, tiny: true},
+		{name: "copyout", hot: 3, calls: []string{"bcopy"}, tiny: true},
+		{name: "fd_lookup", hot: 3, calls: []string{"spin_lock", "spin_unlock"}, tiny: true},
+		{name: "falloc", hot: 5, calls: []string{"spin_lock", "spin_unlock", syscPool[0]}},
+		{name: "uiomove", hot: 4, calls: []string{"bcopy"}, loops: 1},
+	} {
+		fillSpec(b, s)
+	}
+
+	// tty / disk I/O pools must exist before the file system uses them.
+	fillPool(b, ioPool, []string{"spin_lock", "spin_unlock", "bcopy"})
+
+	// File system.
+	fillPool(b, fsPool, []string{"spin_lock", "spin_unlock", "bcopy", "memcmp_k", "strlen_k"})
+	for _, s := range []spec{
+		{name: "dirlookup", hot: 5, calls: []string{"memcmp_k"}, loops: 1},
+		{name: "iget", hot: 6, calls: []string{"spin_lock", "spin_unlock", fsPool[0]}},
+		{name: "iput", hot: 5, calls: []string{"spin_lock", "spin_unlock"}},
+		{name: "namei", hot: 7, calls: []string{"copyin", fsPool[1]},
+			callLoop: []string{"dirlookup", "iget"}, callLoopIters: 3},
+		{name: "bmap", hot: 5, calls: []string{"mulsi3", fsPool[2]}},
+		{name: "getblk", hot: 6, calls: []string{"spin_lock", "spin_unlock", fsPool[3]}},
+		{name: "brelse", hot: 4, calls: []string{"spin_lock", "spin_unlock"}},
+		{name: "disk_strategy", hot: 6, calls: []string{"spl_raise", "spl_lower", ioPool[0]}},
+		{name: "bread", hot: 6, calls: []string{"getblk", "disk_strategy", "sleep"}},
+		{name: "bwrite", hot: 6, calls: []string{"getblk", "disk_strategy", "brelse"}},
+		{name: "fs_read", hot: 7, calls: []string{fsPool[4]},
+			callLoop: []string{"bmap", "bread", "uiomove", "brelse"}, callLoopIters: 2.5},
+		{name: "fs_write", hot: 7, calls: []string{fsPool[5]},
+			callLoop: []string{"bmap", "getblk", "uiomove", "bwrite"}, callLoopIters: 2.5},
+		{name: "balloc", hot: 7, calls: []string{"spin_lock", "spin_unlock"}, loops: 1},
+		{name: "ialloc", hot: 7, calls: []string{"bread", "brelse"}},
+	} {
+		fillSpec(b, s)
+	}
+
+	// Cold driver chunk B.
+	for i := 0; i < nColdB; i++ {
+		b.FillCold(b.Get(fmt.Sprintf("colddrvB%d", i)), 6+b.Rng.Intn(30))
+	}
+
+	// Network.
+	fillPool(b, netPool, []string{"spin_lock", "spin_unlock", "bcopy", "cksum"})
+	for _, s := range []spec{
+		{name: "mbuf_alloc", hot: 4, calls: []string{"spin_lock", "spin_unlock"}, tiny: true},
+		{name: "mbuf_free", hot: 3, calls: []string{"spin_lock", "spin_unlock"}, tiny: true},
+		{name: "udp_output", hot: 8, calls: []string{"mbuf_alloc", "cksum", netPool[0]}},
+		{name: "udp_input", hot: 8, calls: []string{"cksum", "mbuf_free", netPool[1]}},
+		{name: "so_send", hot: 7, calls: []string{"copyin", "udp_output", netPool[2]}},
+		{name: "so_recv", hot: 7, calls: []string{"udp_input", "copyout", "sleep"}},
+		{name: "net_intr", hot: 6, calls: []string{"udp_input", "wakeup"}},
+	} {
+		fillSpec(b, s)
+	}
+
+	// tty / disk I/O handlers.
+	for _, s := range []spec{
+		{name: "tty_read", hot: 6, calls: []string{"copyout", "sleep", ioPool[1]}, loops: 1},
+		{name: "tty_write", hot: 6, calls: []string{"copyin", ioPool[2]}, loops: 1},
+		{name: "tty_intr", hot: 5, calls: []string{"wakeup", ioPool[3]}},
+		{name: "disk_intr", hot: 6, calls: []string{"brelse", "wakeup"}},
+	} {
+		fillSpec(b, s)
+	}
+
+	// Syscall handlers.
+	fillSyscalls(b, syscPool, fsPool, vmPool, procPool)
+
+	// Seeds last: they reference handlers of every subsystem.
+	fillSeed(b, k, "interrupt", "intr_entry",
+		[]string{"save_regs", "spl_raise"},
+		[]seedTarget{
+			{"clock", "hardclock"}, {"ipi", "ipi_handler"}, {"sync", "barrier_wait"},
+			{"disk", "disk_intr"}, {"net", "net_intr"}, {"tty", "tty_intr"}, {"soft", "softclock"},
+		},
+		[]string{"spl_lower", "restore_regs"})
+	fillSeed(b, k, "pagefault", "pf_entry",
+		[]string{"save_regs"},
+		[]seedTarget{
+			{"tlbmiss", "tlb_miss_fast"}, {"pagein", "page_in"}, {"cow", "cow_fault"},
+			{"zfod", "zero_fill_fault"}, {"prot", "prot_fault"}, {"stackgrow", "stack_grow"},
+		},
+		[]string{"restore_regs"})
+	sysTargets := make([]seedTarget, len(SyscallNames))
+	for i, n := range SyscallNames {
+		sysTargets[i] = seedTarget{n, "sys_" + n}
+	}
+	fillSeed(b, k, "syscall", "syscall_entry",
+		[]string{"save_regs", "copyin"},
+		sysTargets,
+		[]string{"sig_check", "restore_regs"})
+	fillSeed(b, k, "other", "trap_entry",
+		[]string{"save_regs"},
+		[]seedTarget{
+			{"ctxsw", "ctxsw_handler"}, {"fpemul", "fp_emul"},
+			{"signal", "signal_deliver"}, {"misctrap", "misc_trap"},
+		},
+		[]string{"restore_regs"})
+
+	k.Prog.Seeds[program.SeedInterrupt] = b.Get("intr_entry")
+	k.Prog.Seeds[program.SeedPageFault] = b.Get("pf_entry")
+	k.Prog.Seeds[program.SeedSysCall] = b.Get("syscall_entry")
+	k.Prog.Seeds[program.SeedOther] = b.Get("trap_entry")
+}
+
+// fillSyscalls synthesizes the 40 syscall handler bodies, routing them into
+// the shared service layers so different workloads exercise overlapping hot
+// code (Figure 2: "different workloads generally exercise the same popular
+// routines").
+func fillSyscalls(b *synth.Builder, syscPool, fsPool, vmPool, procPool []string) {
+	for _, s := range []spec{
+		{name: "sys_read", hot: 6, calls: []string{"fd_lookup", "fs_read", syscPool[1]}},
+		{name: "sys_write", hot: 6, calls: []string{"fd_lookup", "fs_write", syscPool[2]}},
+		{name: "sys_open", hot: 7, calls: []string{"copyin", "namei", "falloc", "iget"}},
+		{name: "sys_close", hot: 4, calls: []string{"fd_lookup", "iput"}},
+		{name: "sys_stat", hot: 6, calls: []string{"namei", "copyout", "iput"}},
+		{name: "sys_fstat", hot: 5, calls: []string{"fd_lookup", "copyout"}},
+		{name: "sys_lseek", hot: 3, calls: []string{"fd_lookup"}, tiny: true},
+		{name: "sys_dup", hot: 4, calls: []string{"fd_lookup", "falloc"}},
+		{name: "sys_pipe", hot: 6, calls: []string{"falloc", "falloc", "mbuf_alloc"}},
+		{name: "sys_fcntl", hot: 5, calls: []string{"fd_lookup", syscPool[3]}},
+		{name: "sys_ioctl", hot: 6, calls: []string{"fd_lookup", "copyin", "copyout"}},
+		{name: "sys_access", hot: 5, calls: []string{"namei", "iput"}},
+		{name: "sys_chdir", hot: 5, calls: []string{"namei", "iput"}},
+		{name: "sys_chmod", hot: 5, calls: []string{"namei", "bwrite", "iput"}},
+		{name: "sys_chown", hot: 5, calls: []string{"namei", "bwrite", "iput"}},
+		{name: "sys_unlink", hot: 6, calls: []string{"namei", "dirlookup", "iput", fsPool[6]}},
+		{name: "sys_link", hot: 6, calls: []string{"namei", "namei", "bwrite"}},
+		{name: "sys_rename", hot: 8, calls: []string{"namei", "namei", "dirlookup", "bwrite"}},
+		{name: "sys_mkdir", hot: 7, calls: []string{"namei", "ialloc", "balloc", "bwrite"}},
+		{name: "sys_rmdir", hot: 6, calls: []string{"namei", "dirlookup", "iput"}},
+		{name: "sys_readlink", hot: 5, calls: []string{"namei", "bread", "copyout"}},
+		{name: "sys_fork", hot: 8, calls: []string{"proc_dup", "setrq", procPool[4]}},
+		{name: "sys_execve", hot: 10, calls: []string{"namei", "exit_vm", "fs_read", "zero_fill_page", procPool[5]}},
+		{name: "sys_exit", hot: 7, calls: []string{"exit_vm", "signal_deliver", "resched"}},
+		{name: "sys_wait4", hot: 6, calls: []string{"sleep", "copyout", procPool[6]}},
+		{name: "sys_kill", hot: 5, calls: []string{"signal_deliver"}},
+		{name: "sys_sigaction", hot: 4, calls: []string{"copyin", "copyout"}},
+		{name: "sys_brk", hot: 6, calls: []string{"vmmap_lookup", "zero_fill_page", vmPool[5]}},
+		{name: "sys_mmap", hot: 8, calls: []string{"fd_lookup", "vmmap_lookup", "pmap_enter", vmPool[6]}},
+		{name: "sys_munmap", hot: 6, calls: []string{"vmmap_lookup", "pmap_remove", "page_free"}},
+		{name: "sys_getpid", hot: 2, tiny: true},
+		{name: "sys_getuid", hot: 2, tiny: true},
+		{name: "sys_umask", hot: 2, tiny: true},
+		{name: "sys_gettimeofday", hot: 4, calls: []string{"read_hrc", "copyout"}},
+		{name: "sys_setitimer", hot: 5, calls: []string{"copyin", "check_curtimer"}},
+		{name: "sys_select", hot: 6, calls: []string{"sleep"}, callLoop: []string{"fd_lookup"}, callLoopIters: 4},
+		{name: "sys_socket", hot: 6, calls: []string{"falloc", "mbuf_alloc"}},
+		{name: "sys_send", hot: 5, calls: []string{"fd_lookup", "so_send"}},
+		{name: "sys_recv", hot: 5, calls: []string{"fd_lookup", "so_recv"}},
+		{name: "sys_fsync", hot: 5, calls: []string{"fd_lookup"}, callLoop: []string{"bwrite"}, callLoopIters: 3},
+	} {
+		// Each syscall additionally reaches private helper code through
+		// conditional call sites, widening the executed footprint of
+		// syscall-heavy workloads (the paper's TRFD+Make and Shell execute
+		// 2-4x the OS code of TRFD_4).
+		pools := [][]string{syscPool, fsPool, vmPool, procPool}
+		ncond := 2 + b.Rng.Intn(2)
+		for c := 0; c < ncond; c++ {
+			pool := pools[b.Rng.Intn(len(pools))]
+			s.cond = append(s.cond, pool[b.Rng.Intn(len(pool))])
+		}
+		fillSpec(b, s)
+	}
+}

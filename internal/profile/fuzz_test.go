@@ -1,0 +1,36 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadProfile checks that arbitrary bytes never panic the profile
+// decoder.
+func FuzzReadProfile(f *testing.F) {
+	p, pr := figure9Profile(1)
+	var buf bytes.Buffer
+	if _, err := pr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	mutated := append([]byte{}, valid...)
+	for i := 5; i < len(mutated); i += 3 {
+		mutated[i] ^= 0xA5
+	}
+	f.Add(mutated)
+	f.Add([]byte{})
+	f.Add([]byte("OSLP\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadProfile(bytes.NewReader(data), p)
+		if err != nil {
+			return
+		}
+		if len(got.Block) != p.NumBlocks() {
+			t.Fatal("accepted profile with wrong shape")
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package profile
+
+// Binary serialisation of profiles, so expensive trace captures can be
+// reduced once and their profiles reused across sessions (the paper's basic
+// block flow graphs with profile information were likewise produced once by
+// the trace post-processing tools and fed to the layout generator).
+//
+// Format: magic "OSLP", version byte, then varint-encoded sections. Counts
+// are delta-friendly already (mostly zeros for cold code), so plain varints
+// suffice.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"oslayout/internal/program"
+)
+
+const (
+	profileMagic   = "OSLP"
+	profileVersion = 1
+)
+
+// WriteTo serialises the profile.
+func (pr *Profile) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v uint64) {
+		var buf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(buf[:], v)
+		m, _ := bw.Write(buf[:k])
+		n += int64(m)
+	}
+	m, err := bw.WriteString(profileMagic)
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	if err := bw.WriteByte(profileVersion); err != nil {
+		return n, err
+	}
+	n++
+	put(uint64(len(pr.Block)))
+	for _, v := range pr.Block {
+		put(v)
+	}
+	put(uint64(len(pr.Arc)))
+	for _, arcs := range pr.Arc {
+		put(uint64(len(arcs)))
+		for _, v := range arcs {
+			put(v)
+		}
+	}
+	put(uint64(len(pr.Call)))
+	for _, v := range pr.Call {
+		put(v)
+	}
+	put(uint64(len(pr.RoutineInv)))
+	for _, v := range pr.RoutineInv {
+		put(v)
+	}
+	for _, v := range pr.ClassInv {
+		put(v)
+	}
+	return n, bw.Flush()
+}
+
+// ReadProfile deserialises a profile written by WriteTo and checks its shape
+// against program p.
+func ReadProfile(r io.Reader, p *program.Program) (*Profile, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("profile: reading magic: %w", err)
+	}
+	if string(magic) != profileMagic {
+		return nil, fmt.Errorf("profile: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != profileVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d", ver)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getN := func(what string, want int) error {
+		n, err := get()
+		if err != nil {
+			return fmt.Errorf("profile: %s count: %w", what, err)
+		}
+		if int(n) != want {
+			return fmt.Errorf("profile: %s count %d does not match program (%d)", what, n, want)
+		}
+		return nil
+	}
+	pr := New(p)
+	if err := getN("block", len(pr.Block)); err != nil {
+		return nil, err
+	}
+	for i := range pr.Block {
+		if pr.Block[i], err = get(); err != nil {
+			return nil, err
+		}
+	}
+	if err := getN("arc-row", len(pr.Arc)); err != nil {
+		return nil, err
+	}
+	for i := range pr.Arc {
+		if err := getN("arc", len(pr.Arc[i])); err != nil {
+			return nil, err
+		}
+		for j := range pr.Arc[i] {
+			if pr.Arc[i][j], err = get(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := getN("call", len(pr.Call)); err != nil {
+		return nil, err
+	}
+	for i := range pr.Call {
+		if pr.Call[i], err = get(); err != nil {
+			return nil, err
+		}
+	}
+	if err := getN("routine", len(pr.RoutineInv)); err != nil {
+		return nil, err
+	}
+	for i := range pr.RoutineInv {
+		if pr.RoutineInv[i], err = get(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range pr.ClassInv {
+		if pr.ClassInv[i], err = get(); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}

@@ -1,0 +1,81 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+func dotFixture() *Program {
+	p := New("fix")
+	a := p.AddRoutine("alpha")
+	a0 := p.AddBlock(a, 8)
+	a1 := p.AddBlock(a, 8)
+	a2 := p.AddBlock(a, 8)
+	p.AddArc(a0, a1, ArcFallthrough, 0.9)
+	p.AddArc(a0, a2, ArcBranch, 0.1)
+	p.AddArc(a1, a2, ArcFallthrough, 1.0)
+	b := p.AddRoutine("beta")
+	p.AddBlock(b, 8)
+	c0 := p.AddBlock(a, 8) // extra caller block in alpha calling beta
+	_ = c0
+	p.Blocks[a2].Out = nil
+	p.SetCall(a2, b, c0)
+	p.Blocks[a0].Weight = 10
+	p.Blocks[a1].Weight = 9
+	return p
+}
+
+func TestWriteDotAllRoutines(t *testing.T) {
+	p := dotFixture()
+	var sb strings.Builder
+	if err := p.WriteDot(&sb, DotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph \"fix\"", "cluster_0", "label=\"alpha\"", "label=\"beta\"",
+		"n0 -> n1", "0.90", "style=dashed", "label=ret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDotRestrictedWithStub(t *testing.T) {
+	p := dotFixture()
+	var sb strings.Builder
+	if err := p.WriteDot(&sb, DotOptions{Routines: []RoutineID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "cluster_1") {
+		t.Error("excluded routine rendered as a cluster")
+	}
+	if !strings.Contains(out, "r1 [label=\"beta\"") {
+		t.Errorf("call to excluded routine should render a stub:\n%s", out)
+	}
+}
+
+func TestWriteDotHideUnexecuted(t *testing.T) {
+	p := dotFixture()
+	var sb strings.Builder
+	if err := p.WriteDot(&sb, DotOptions{HideUnexecuted: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "n2 ") || strings.Contains(out, "n2 [") {
+		t.Errorf("unexecuted block rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "n0 [") {
+		t.Error("executed block missing")
+	}
+}
+
+func TestWriteDotRejectsBadRoutine(t *testing.T) {
+	p := dotFixture()
+	var sb strings.Builder
+	if err := p.WriteDot(&sb, DotOptions{Routines: []RoutineID{99}}); err == nil {
+		t.Fatal("out-of-range routine accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package simulate drives traces through cache models under given layouts.
+// It is the counterpart of the paper's "final tool ... the cache simulator,
+// with which we determine the effectiveness of the new basic block layout"
+// (Section 2.2): the same dynamic trace is replayed under each candidate
+// layout and cache organisation.
+package simulate
+
+import (
+	"fmt"
+
+	"oslayout/internal/cache"
+	"oslayout/internal/layout"
+	"oslayout/internal/program"
+	"oslayout/internal/trace"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// LayoutName names the OS layout evaluated.
+	LayoutName string
+	Config     cache.Config
+	Stats      cache.Stats
+	// BlockMisses[d][b] counts misses attributed to block b of domain d.
+	// The application slice is nil when the trace has none.
+	BlockMisses [trace.NumDomains][]uint64
+	// BlockSelf and BlockCross decompose BlockMisses into self- and
+	// cross-interference components (the remainder is cold misses).
+	BlockSelf  [trace.NumDomains][]uint64
+	BlockCross [trace.NumDomains][]uint64
+}
+
+// AppBase is the base virtual address of application images: a distinct
+// region from the kernel (which sits at low addresses, as in the paper where
+// "virtual addresses for operating system code are equal to their physical
+// addresses").
+const AppBase = 1 << 24
+
+// Run replays the trace through one cache under the given layouts. appL may
+// be nil when the trace has no application.
+func Run(t *trace.Trace, osL, appL *layout.Layout, cfg cache.Config) (*Result, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	route := func(trace.Domain, uint64) *cache.Cache { return c }
+	res, err := run(t, osL, appL, route, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Config = cfg
+	res.Stats = c.Stats
+	return res, nil
+}
+
+// RunUtil is Run with cache-line utilization tracking enabled: it
+// additionally reports, over evicted lines, the mean fraction of line words
+// fetched while resident — the spatial-locality exploitation that makes
+// layout gains grow with line size (Figure 17-a).
+func RunUtil(t *trace.Trace, osL, appL *layout.Layout, cfg cache.Config) (*Result, cache.UtilStats, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return nil, cache.UtilStats{}, err
+	}
+	c.EnableUtilization()
+	route := func(trace.Domain, uint64) *cache.Cache { return c }
+	res, err := run(t, osL, appL, route, nil, true)
+	if err != nil {
+		return nil, cache.UtilStats{}, err
+	}
+	res.Config = cfg
+	res.Stats = c.Stats
+	return res, c.Util, nil
+}
+
+// RunSplit replays the trace through a partitioned cache: OS fetches go to
+// one half, application fetches to the other (the paper's "Sep" setup,
+// Section 5.5).
+func RunSplit(t *trace.Trace, osL, appL *layout.Layout, osCfg, appCfg cache.Config) (*Result, error) {
+	osc, err := cache.New(osCfg)
+	if err != nil {
+		return nil, err
+	}
+	apc, err := cache.New(appCfg)
+	if err != nil {
+		return nil, err
+	}
+	route := func(d trace.Domain, _ uint64) *cache.Cache {
+		if d == trace.DomainOS {
+			return osc
+		}
+		return apc
+	}
+	res, err := run(t, osL, appL, route, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Config = cache.Config{Size: osCfg.Size + appCfg.Size, Line: osCfg.Line, Assoc: osCfg.Assoc}
+	res.Stats = osc.Stats
+	res.Stats.Add(&apc.Stats)
+	return res, nil
+}
+
+// RunReserved replays the trace with a small cache dedicated to a reserved
+// set of OS blocks (the paper's "Resv" setup: a ~1 KB cache holding the most
+// important sequences) and a main cache for everything else.
+func RunReserved(t *trace.Trace, osL, appL *layout.Layout, reserved map[program.BlockID]bool, smallCfg, mainCfg cache.Config) (*Result, error) {
+	small, err := cache.New(smallCfg)
+	if err != nil {
+		return nil, err
+	}
+	main, err := cache.New(mainCfg)
+	if err != nil {
+		return nil, err
+	}
+	isReserved := make([]bool, t.OS.NumBlocks())
+	for b := range reserved {
+		isReserved[b] = true
+	}
+	var curBlockReserved bool
+	route := func(d trace.Domain, _ uint64) *cache.Cache {
+		if d == trace.DomainOS && curBlockReserved {
+			return small
+		}
+		return main
+	}
+	pre := func(d trace.Domain, b program.BlockID) {
+		curBlockReserved = d == trace.DomainOS && isReserved[b]
+	}
+	res, err := run(t, osL, appL, route, pre, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Config = cache.Config{Size: smallCfg.Size + mainCfg.Size, Line: mainCfg.Line, Assoc: mainCfg.Assoc}
+	res.Stats = small.Stats
+	res.Stats.Add(&main.Stats)
+	return res, nil
+}
+
+// run is the common replay loop. route picks the cache for each line access;
+// pre (optional) observes each block before its lines are accessed; util
+// marks the fetched words for line-utilization tracking.
+func run(t *trace.Trace, osL, appL *layout.Layout,
+	route func(trace.Domain, uint64) *cache.Cache,
+	pre func(trace.Domain, program.BlockID), util bool) (*Result, error) {
+
+	if osL.Prog != t.OS {
+		return nil, fmt.Errorf("simulate: OS layout is for program %q, trace for %q", osL.Prog.Name, t.OS.Name)
+	}
+	if t.App != nil && appL == nil {
+		return nil, fmt.Errorf("simulate: trace has application references but no application layout given")
+	}
+
+	res := &Result{LayoutName: osL.Name}
+	res.BlockMisses[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
+	res.BlockSelf[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
+	res.BlockCross[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
+	if t.App != nil {
+		res.BlockMisses[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
+		res.BlockSelf[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
+		res.BlockCross[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
+	}
+
+	for _, e := range t.Events {
+		if !e.IsBlock() {
+			continue
+		}
+		d := e.Domain()
+		b := e.Block()
+		var l *layout.Layout
+		var p *program.Program
+		if d == trace.DomainOS {
+			l, p = osL, t.OS
+		} else {
+			l, p = appL, t.App
+		}
+		if pre != nil {
+			pre(d, b)
+		}
+		addr := l.Addr[b]
+		size := p.Block(b).Size
+		first := route(d, addr)
+		first.Stats.Refs[d] += trace.RefsOf(size)
+		startLine := first.LineOf(addr)
+		endLine := first.LineOf(addr + uint64(size) - 1)
+		for line := startLine; line <= endLine; line++ {
+			c := route(d, line)
+			switch c.AccessLine(line, d) {
+			case cache.SelfMiss:
+				res.BlockMisses[d][b]++
+				res.BlockSelf[d][b]++
+			case cache.CrossMiss:
+				res.BlockMisses[d][b]++
+				res.BlockCross[d][b]++
+			case cache.ColdMiss:
+				res.BlockMisses[d][b]++
+			}
+			if util {
+				lineBase := line * uint64(c.Config().Line)
+				from := 0
+				if addr > lineBase {
+					from = int(addr-lineBase) / trace.WordSize
+				}
+				to := c.Config().Line/trace.WordSize - 1
+				if end := addr + uint64(size); end < lineBase+uint64(c.Config().Line) {
+					to = int(end-1-lineBase) / trace.WordSize
+				}
+				c.MarkWords(line, from, to)
+			}
+		}
+	}
+	return res, nil
+}
+
+// MissHistogram aggregates per-block misses into address-range buckets of
+// the given width under a reference layout (the paper plots misses against
+// Base-layout virtual addresses even for optimised layouts, Figure 14).
+func MissHistogram(res *Result, d trace.Domain, ref *layout.Layout, bucket uint64) []uint64 {
+	if bucket == 0 {
+		bucket = 1 << 10
+	}
+	n := (ref.End() - ref.Base + bucket - 1) / bucket
+	h := make([]uint64, n)
+	for b, m := range res.BlockMisses[d] {
+		if m == 0 {
+			continue
+		}
+		idx := (ref.Addr[b] - ref.Base) / bucket
+		if idx < uint64(len(h)) {
+			h[idx] += m
+		}
+	}
+	return h
+}
+
+// HistogramOf aggregates an arbitrary per-block count slice into
+// address-range buckets under a reference layout.
+func HistogramOf(perBlock []uint64, ref *layout.Layout, bucket uint64) []uint64 {
+	if bucket == 0 {
+		bucket = 1 << 10
+	}
+	n := (ref.End() - ref.Base + bucket - 1) / bucket
+	h := make([]uint64, n)
+	for b, m := range perBlock {
+		if m == 0 {
+			continue
+		}
+		idx := (ref.Addr[b] - ref.Base) / bucket
+		if idx < uint64(len(h)) {
+			h[idx] += m
+		}
+	}
+	return h
+}
+
+// RefHistogram aggregates per-block references into address-range buckets
+// under a reference layout (Figure 2).
+func RefHistogram(p *program.Program, ref *layout.Layout, bucket uint64) []uint64 {
+	if bucket == 0 {
+		bucket = 1 << 10
+	}
+	n := (ref.End() - ref.Base + bucket - 1) / bucket
+	h := make([]uint64, n)
+	for b := range p.Blocks {
+		blk := &p.Blocks[b]
+		if blk.Weight == 0 {
+			continue
+		}
+		idx := (ref.Addr[b] - ref.Base) / bucket
+		if idx < uint64(len(h)) {
+			h[idx] += blk.Weight * trace.RefsOf(blk.Size)
+		}
+	}
+	return h
+}

@@ -1,0 +1,461 @@
+// Package synth provides the low-level routine synthesizer shared by the
+// kernel generator (internal/kernelgen) and the application generator
+// (internal/appgen). It builds basic-block control flow with the structural
+// features the paper measures: long deterministic hot paths, rarely-taken
+// cold side chains, if/else diamonds, call-free loops with geometric
+// iteration counts, and loops whose bodies call procedures.
+//
+// All randomness flows through the builder's random source, so generation is
+// deterministic for a fixed seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oslayout/internal/program"
+)
+
+// Builder synthesizes routines into a program.
+type Builder struct {
+	P   *program.Program
+	Rng *rand.Rand
+
+	names  map[string]program.RoutineID
+	filled map[program.RoutineID]bool
+	// ColdCallees, if set, lets cold chains call one of these routines
+	// (log/panic-style helpers) with 50% probability.
+	ColdCallees []program.RoutineID
+}
+
+// NewBuilder returns a builder over program p using the given random source.
+func NewBuilder(p *program.Program, rng *rand.Rand) *Builder {
+	return &Builder{
+		P:      p,
+		Rng:    rng,
+		names:  make(map[string]program.RoutineID),
+		filled: make(map[program.RoutineID]bool),
+	}
+}
+
+// Decl declares a routine by name without a body. Declaration order defines
+// the Base (original) layout order, so callers declare routines in realistic
+// link order and fill bodies afterwards, allowing forward references.
+func (b *Builder) Decl(name string) program.RoutineID {
+	if _, ok := b.names[name]; ok {
+		panic(fmt.Sprintf("synth: routine %q declared twice", name))
+	}
+	id := b.P.AddRoutine(name)
+	b.names[name] = id
+	return id
+}
+
+// Get returns the ID of a declared routine, panicking on unknown names so
+// that typos in program descriptions fail fast.
+func (b *Builder) Get(name string) program.RoutineID {
+	id, ok := b.names[name]
+	if !ok {
+		panic(fmt.Sprintf("synth: routine %q not declared", name))
+	}
+	return id
+}
+
+// Names returns the name → routine map. The caller must not mutate it.
+func (b *Builder) Names() map[string]program.RoutineID { return b.names }
+
+// MarkFilled records that routine id received a body through custom
+// construction (outside Fill).
+func (b *Builder) MarkFilled(id program.RoutineID) {
+	if b.filled[id] {
+		panic(fmt.Sprintf("synth: routine %q filled twice", b.P.Routine(id).Name))
+	}
+	b.filled[id] = true
+}
+
+// CheckAllFilled panics if any declared routine lacks a body.
+func (b *Builder) CheckAllFilled() {
+	for name, id := range b.names {
+		if !b.filled[id] {
+			panic(fmt.Sprintf("synth: routine %q declared but never filled", name))
+		}
+	}
+}
+
+// HotSize samples a hot basic-block size in bytes (2-byte aligned, mean
+// ~21 bytes, matching the paper's 21.3-byte average for executed blocks).
+func (b *Builder) HotSize() int32 { return int32(6 + 2*b.Rng.Intn(16)) }
+
+// ColdSize samples a cold basic-block size. Cold code has the same
+// instruction mix as hot code, just slightly bulkier on average (error
+// formatting, recovery paths).
+func (b *Builder) ColdSize() int32 { return int32(8 + 2*b.Rng.Intn(16)) }
+
+// LoopSpec describes a call-free loop embedded in a routine's hot path.
+type LoopSpec struct {
+	// Blocks is the number of body blocks including header and latch.
+	Blocks int
+	// MeanIters is the mean iterations per invocation; the back-edge
+	// probability is 1-1/MeanIters, yielding geometric iteration counts.
+	MeanIters float64
+}
+
+// CallLoopSpec describes a loop whose body calls procedures (the paper's
+// "loops with procedure calls", e.g. freeing all page tables at exit).
+type CallLoopSpec struct {
+	MeanIters float64
+	// Callees are invoked once per iteration, in order.
+	Callees []program.RoutineID
+}
+
+// CallAt attaches a callee at a position along the hot path.
+type CallAt struct {
+	Pos    int // hot-path step index at which the call happens
+	Callee program.RoutineID
+}
+
+// CondCallAt attaches a conditional call site: at the given position the hot
+// path branches to a call block with probability Prob and around it
+// otherwise. Conditional calls are how the generator keeps large static call
+// fan-out (a big executed footprint across many invocations) without every
+// invocation walking the whole tree.
+type CondCallAt struct {
+	Pos    int
+	Callee program.RoutineID
+	Prob   float64
+}
+
+// Ropt parameterises routine synthesis.
+type Ropt struct {
+	// HotLen is the number of hot-path steps (call steps included).
+	HotLen int
+	// Calls places procedure calls at specific hot-path steps.
+	Calls []CallAt
+	// CondCalls places conditional call sites at specific hot-path steps.
+	CondCalls []CondCallAt
+	// ColdBranchProb is the per-step chance of growing a cold side chain.
+	ColdBranchProb float64
+	// DiamondProb is the per-step chance of an if/else diamond.
+	DiamondProb float64
+	// Loops embeds call-free loops at evenly spaced positions.
+	Loops []LoopSpec
+	// CallLoops embeds loops-with-calls at evenly spaced positions.
+	CallLoops []CallLoopSpec
+	// EarlyReturnProb is the per-step chance that a hot block has a
+	// low-probability early-return arc ("if cached, return immediately").
+	EarlyReturnProb float64
+	// NoColdCalls suppresses calls out of cold chains even when the
+	// builder has ColdCallees configured.
+	NoColdCalls bool
+}
+
+// pend is a dangling edge waiting for its destination block to exist. When
+// call is set, the destination becomes the call continuation of from rather
+// than an arc target.
+type pend struct {
+	from program.BlockID
+	kind program.ArcKind
+	prob float64
+	call bool
+}
+
+// Fill synthesizes the body of routine id according to opt.
+func (b *Builder) Fill(id program.RoutineID, opt Ropt) {
+	b.MarkFilled(id)
+	if opt.HotLen < 1 {
+		opt.HotLen = 1
+	}
+
+	loopAt := make(map[int]*LoopSpec)
+	for i := range opt.Loops {
+		pos := (i + 1) * opt.HotLen / (len(opt.Loops) + 1)
+		loopAt[pos] = &opt.Loops[i]
+	}
+	callLoopAt := make(map[int]*CallLoopSpec)
+	for i := range opt.CallLoops {
+		pos := (i+1)*opt.HotLen/(len(opt.CallLoops)+1) + 1
+		callLoopAt[pos] = &opt.CallLoops[i]
+	}
+	callAtStep := make(map[int][]program.RoutineID)
+	for _, c := range opt.Calls {
+		callAtStep[c.Pos] = append(callAtStep[c.Pos], c.Callee)
+	}
+	condAtStep := make(map[int][]CondCallAt)
+	for _, c := range opt.CondCalls {
+		condAtStep[c.Pos] = append(condAtStep[c.Pos], c)
+	}
+	coldCallees := b.ColdCallees
+	if opt.NoColdCalls {
+		coldCallees = nil
+	}
+
+	var pends []pend
+	wire := func(to program.BlockID) {
+		for _, pd := range pends {
+			if pd.call {
+				b.P.Block(pd.from).Call.Cont = to
+			} else {
+				b.P.AddArc(pd.from, to, pd.kind, pd.prob)
+			}
+		}
+		pends = pends[:0]
+	}
+
+	entry := b.P.AddBlock(id, b.HotSize())
+	cur := entry
+	curBudget := 1.0 // probability mass still unassigned on cur's out-arcs
+
+	// nextHot creates the next hot block, wires cur and all pending edges
+	// to it, and makes it current.
+	nextHot := func() program.BlockID {
+		nb := b.P.AddBlock(id, b.HotSize())
+		blk := b.P.Block(cur)
+		if blk.HasCall {
+			blk.Call.Cont = nb
+		} else {
+			b.P.AddArc(cur, nb, program.ArcFallthrough, curBudget)
+		}
+		wire(nb)
+		cur = nb
+		curBudget = 1.0
+		return nb
+	}
+
+	// ensureArcCapable advances to a fresh hot block when the current block
+	// ends in a call (a block may not have both a call and out-arcs).
+	ensureArcCapable := func() {
+		if b.P.Block(cur).HasCall {
+			nextHot()
+		}
+	}
+
+	for step := 0; step < opt.HotLen; step++ {
+		if step > 0 {
+			nextHot()
+		}
+		// All features scheduled for this step are emitted in order; a step
+		// may combine calls, loops and conditional calls.
+		hadFeature := false
+		if callees, ok := callAtStep[step]; ok {
+			hadFeature = true
+			for i, callee := range callees {
+				if i > 0 || b.P.Block(cur).HasCall {
+					nextHot()
+				}
+				b.P.SetCall(cur, callee, program.NoBlock) // Cont wired by nextHot
+			}
+		}
+		if ls, ok := loopAt[step]; ok {
+			hadFeature = true
+			b.emitLoop(id, &cur, &curBudget, ls)
+		}
+		if cls, ok := callLoopAt[step]; ok {
+			hadFeature = true
+			b.emitCallLoop(id, &cur, &curBudget, cls)
+		}
+		if cs, ok := condAtStep[step]; ok {
+			hadFeature = true
+			ensureArcCapable()
+			for _, c := range cs {
+				callBlk := b.P.AddBlock(id, b.HotSize())
+				pr := curBudget * c.Prob
+				b.P.AddArc(cur, callBlk, program.ArcBranch, pr)
+				b.P.SetCall(callBlk, c.Callee, program.NoBlock)
+				pends = append(pends, pend{from: callBlk, call: true})
+				curBudget -= pr
+			}
+		}
+		if hadFeature {
+			continue
+		}
+		if b.Rng.Float64() < opt.ColdBranchProb {
+			ensureArcCapable()
+			pends = append(pends, b.emitColdChain(id, cur, &curBudget, coldCallees)...)
+		}
+		if b.Rng.Float64() < opt.EarlyReturnProb {
+			ensureArcCapable()
+			ret := b.P.AddBlock(id, b.HotSize())
+			pr := 0.002 + b.Rng.Float64()*0.05
+			b.P.AddArc(cur, ret, program.ArcBranch, pr)
+			curBudget -= pr
+		}
+		if b.Rng.Float64() < opt.DiamondProb {
+			ensureArcCapable()
+			b.emitDiamond(id, cur, &curBudget, &pends)
+		}
+	}
+	last := b.P.AddBlock(id, b.HotSize())
+	blk := b.P.Block(cur)
+	if blk.HasCall {
+		blk.Call.Cont = last
+	} else {
+		b.P.AddArc(cur, last, program.ArcFallthrough, curBudget)
+	}
+	wire(last)
+}
+
+// emitColdChain grows a rarely-taken side chain off the current block: 1-4
+// cold blocks that either return from the routine or rejoin the hot path.
+// It returns pends for the rejoin edge, if any.
+func (b *Builder) emitColdChain(r program.RoutineID, cur program.BlockID, budget *float64, coldCallees []program.RoutineID) []pend {
+	pr := 0.001 + b.Rng.Float64()*0.02 // taken 0.1% - 2.1% of the time
+	n := 1 + b.Rng.Intn(4)
+	first := b.P.AddBlock(r, b.ColdSize())
+	b.P.AddArc(cur, first, program.ArcBranch, pr)
+	*budget -= pr
+	prev := first
+	for i := 1; i < n; i++ {
+		nb := b.P.AddBlock(r, b.ColdSize())
+		b.P.AddArc(prev, nb, program.ArcFallthrough, 1.0)
+		prev = nb
+	}
+	if len(coldCallees) > 0 && b.Rng.Float64() < 0.5 {
+		callee := coldCallees[b.Rng.Intn(len(coldCallees))]
+		cont := b.P.AddBlock(r, b.ColdSize())
+		b.P.SetCall(prev, callee, cont)
+		prev = cont
+	}
+	if b.Rng.Float64() < 0.5 {
+		return nil // cold chain ends in its own return block
+	}
+	return []pend{{from: prev, kind: program.ArcBranch, prob: 1.0}}
+}
+
+// emitDiamond splits the hot path into two alternatives that remerge. The
+// taken probability is mid-range, populating the middle of the paper's
+// Figure 3 arc-probability distribution.
+func (b *Builder) emitDiamond(r program.RoutineID, cur program.BlockID, budget *float64, pends *[]pend) {
+	q := 0.55 + b.Rng.Float64()*0.42 // main side keeps 0.55-0.97
+	alt := b.P.AddBlock(r, b.HotSize())
+	b.P.AddArc(cur, alt, program.ArcBranch, (*budget)*(1-q))
+	if b.Rng.Intn(3) == 0 {
+		alt2 := b.P.AddBlock(r, b.HotSize())
+		b.P.AddArc(alt, alt2, program.ArcFallthrough, 1.0)
+		alt = alt2
+	}
+	*pends = append(*pends, pend{from: alt, kind: program.ArcBranch, prob: 1.0})
+	*budget *= q
+}
+
+// emitLoop appends a call-free natural loop to the hot path: cur falls into
+// the header; the latch goes back to the header with probability 1-1/mean.
+func (b *Builder) emitLoop(r program.RoutineID, cur *program.BlockID, budget *float64, ls *LoopSpec) {
+	n := ls.Blocks
+	if n < 1 {
+		n = 1
+	}
+	header := b.P.AddBlock(r, b.HotSize())
+	cb := b.P.Block(*cur)
+	if cb.HasCall {
+		cb.Call.Cont = header
+	} else {
+		b.P.AddArc(*cur, header, program.ArcFallthrough, *budget)
+	}
+	prev := header
+	for i := 1; i < n; i++ {
+		nb := b.P.AddBlock(r, b.HotSize())
+		b.P.AddArc(prev, nb, program.ArcFallthrough, 1.0)
+		prev = nb
+	}
+	back := BackProb(ls.MeanIters)
+	b.P.AddArc(prev, header, program.ArcBranch, back)
+	*cur = prev
+	*budget = 1 - back // exit probability continues the hot chain
+}
+
+// emitCallLoop appends a loop whose body calls the given routines once per
+// iteration.
+func (b *Builder) emitCallLoop(r program.RoutineID, cur *program.BlockID, budget *float64, cls *CallLoopSpec) {
+	header := b.P.AddBlock(r, b.HotSize())
+	cb := b.P.Block(*cur)
+	if cb.HasCall {
+		cb.Call.Cont = header
+	} else {
+		b.P.AddArc(*cur, header, program.ArcFallthrough, *budget)
+	}
+	prev := header
+	for _, callee := range cls.Callees {
+		callBlk := b.P.AddBlock(r, b.HotSize())
+		pb := b.P.Block(prev)
+		if pb.HasCall {
+			pb.Call.Cont = callBlk
+		} else {
+			b.P.AddArc(prev, callBlk, program.ArcFallthrough, 1.0)
+		}
+		b.P.SetCall(callBlk, callee, program.NoBlock)
+		prev = callBlk
+	}
+	latch := b.P.AddBlock(r, b.HotSize())
+	pb := b.P.Block(prev)
+	if pb.HasCall {
+		pb.Call.Cont = latch
+	} else {
+		b.P.AddArc(prev, latch, program.ArcFallthrough, 1.0)
+	}
+	back := BackProb(cls.MeanIters)
+	b.P.AddArc(latch, header, program.ArcBranch, back)
+	*cur = latch
+	*budget = 1 - back
+}
+
+// BackProb converts a mean iteration count into a geometric back-edge
+// probability: with back-edge probability p the expected iterations are
+// 1/(1-p), so p = 1 - 1/mean.
+func BackProb(mean float64) float64 {
+	if mean <= 1 {
+		return 0.01
+	}
+	return 1 - 1/mean
+}
+
+// FillCold synthesizes a never-invoked routine (special-case code: unusual
+// drivers, panic paths, configuration code) of the given block count.
+func (b *Builder) FillCold(id program.RoutineID, blocks int) {
+	b.MarkFilled(id)
+	prev := b.P.AddBlock(id, b.ColdSize())
+	for i := 1; i < blocks; i++ {
+		nb := b.P.AddBlock(id, b.ColdSize())
+		switch b.Rng.Intn(4) {
+		case 0:
+			alt := b.P.AddBlock(id, b.ColdSize())
+			q := 0.3 + b.Rng.Float64()*0.5
+			b.P.AddArc(prev, nb, program.ArcFallthrough, q)
+			b.P.AddArc(prev, alt, program.ArcBranch, 1-q)
+			b.P.AddArc(alt, nb, program.ArcBranch, 1.0)
+		default:
+			b.P.AddArc(prev, nb, program.ArcFallthrough, 1.0)
+		}
+		prev = nb
+	}
+}
+
+// SampleLoopSpec draws a call-free loop shape matching the paper's Figure 4:
+// 50% of loops run ≤6 iterations per invocation, ~75% ≤25, and static size
+// stays under ~300 bytes.
+func (b *Builder) SampleLoopSpec() LoopSpec {
+	var mean float64
+	switch x := b.Rng.Float64(); {
+	case x < 0.50:
+		mean = 2 + b.Rng.Float64()*4 // 2-6
+	case x < 0.75:
+		mean = 6 + b.Rng.Float64()*19 // 6-25
+	case x < 0.93:
+		mean = 25 + b.Rng.Float64()*75 // 25-100
+	default:
+		// Long scan loops. The tail stays bounded: service routines are
+		// themselves invoked from loops, and an unbounded mean would
+		// compound into unrealistically long OS invocations (the really
+		// long copy/zero loops are the named bcopy/bzero/cksum leaves).
+		mean = 100 + b.Rng.Float64()*60
+	}
+	return LoopSpec{Blocks: 1 + b.Rng.Intn(5), MeanIters: mean}
+}
+
+// SampleCallLoopIters draws iterations for loops with procedure calls, which
+// the paper finds "have few iterations per invocation, usually 10 or less"
+// (Figure 5).
+func (b *Builder) SampleCallLoopIters() float64 {
+	if b.Rng.Float64() < 0.8 {
+		return 2 + b.Rng.Float64()*8 // 2-10
+	}
+	return 10 + b.Rng.Float64()*30
+}

@@ -1,0 +1,245 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oslayout/internal/cfa"
+	"oslayout/internal/program"
+	"oslayout/internal/trace"
+)
+
+func build(seed int64, fill func(b *Builder)) *program.Program {
+	p := program.New("synth-test")
+	b := NewBuilder(p, rand.New(rand.NewSource(seed)))
+	fill(b)
+	b.CheckAllFilled()
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestDeclGetAndDoubleDeclPanics(t *testing.T) {
+	p := program.New("t")
+	b := NewBuilder(p, rand.New(rand.NewSource(1)))
+	id := b.Decl("foo")
+	if b.Get("foo") != id {
+		t.Fatal("Get returned wrong id")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Decl should panic")
+			}
+		}()
+		b.Decl("foo")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Get of unknown name should panic")
+			}
+		}()
+		b.Get("bar")
+	}()
+}
+
+func TestCheckAllFilledPanicsOnMissingBody(t *testing.T) {
+	p := program.New("t")
+	b := NewBuilder(p, rand.New(rand.NewSource(1)))
+	b.Decl("empty")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CheckAllFilled should panic for bodiless routine")
+		}
+	}()
+	b.CheckAllFilled()
+}
+
+func TestFillProducesValidPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		p := build(seed, func(b *Builder) {
+			leaf := b.Decl("leaf")
+			b.Fill(leaf, Ropt{HotLen: 2})
+			main := b.Decl("main")
+			b.Fill(main, Ropt{
+				HotLen:          10,
+				Calls:           []CallAt{{Pos: 3, Callee: leaf}},
+				CondCalls:       []CondCallAt{{Pos: 6, Callee: leaf, Prob: 0.3}},
+				ColdBranchProb:  0.5,
+				DiamondProb:     0.4,
+				EarlyReturnProb: 0.3,
+				Loops:           []LoopSpec{{Blocks: 3, MeanIters: 5}},
+				CallLoops:       []CallLoopSpec{{MeanIters: 4, Callees: []program.RoutineID{leaf}}},
+			})
+		})
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillDeterministic(t *testing.T) {
+	gen := func() *program.Program {
+		return build(42, func(b *Builder) {
+			leaf := b.Decl("leaf")
+			b.Fill(leaf, Ropt{HotLen: 2})
+			main := b.Decl("main")
+			b.Fill(main, Ropt{HotLen: 12, ColdBranchProb: 0.4, DiamondProb: 0.3,
+				Calls: []CallAt{{Pos: 5, Callee: leaf}}})
+		})
+	}
+	a, b := gen(), gen()
+	if a.NumBlocks() != b.NumBlocks() || a.CodeSize() != b.CodeSize() {
+		t.Fatal("same seed produced different programs")
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Size != b.Blocks[i].Size || len(a.Blocks[i].Out) != len(b.Blocks[i].Out) {
+			t.Fatalf("block %d differs", i)
+		}
+	}
+}
+
+func TestEmbeddedLoopIsDetectable(t *testing.T) {
+	p := build(7, func(b *Builder) {
+		r := b.Decl("r")
+		b.Fill(r, Ropt{HotLen: 4, Loops: []LoopSpec{{Blocks: 2, MeanIters: 10}}})
+	})
+	loops := cfa.AllLoops(p)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	if loops[0].CallsRoutines {
+		t.Fatal("call-free loop misclassified")
+	}
+}
+
+func TestEmbeddedCallLoopIsDetectable(t *testing.T) {
+	p := build(7, func(b *Builder) {
+		leaf := b.Decl("leaf")
+		b.Fill(leaf, Ropt{HotLen: 1})
+		r := b.Decl("r")
+		b.Fill(r, Ropt{HotLen: 4, CallLoops: []CallLoopSpec{{MeanIters: 5, Callees: []program.RoutineID{leaf}}}})
+	})
+	var found bool
+	for _, lp := range cfa.AllLoops(p) {
+		if lp.CallsRoutines {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no loop with calls detected")
+	}
+}
+
+func TestWalkedLoopIterationsMatchSpec(t *testing.T) {
+	const mean = 8.0
+	p := build(11, func(b *Builder) {
+		r := b.Decl("r")
+		b.Fill(r, Ropt{HotLen: 2, Loops: []LoopSpec{{Blocks: 1, MeanIters: mean}}})
+	})
+	loops := cfa.AllLoops(p)
+	if len(loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(loops))
+	}
+	header := loops[0].Header
+	w := trace.NewWalker(p, trace.DomainOS, rand.New(rand.NewSource(5)), nil)
+	var headerHits int
+	const n = 4000
+	for i := 0; i < n; i++ {
+		for _, e := range w.WalkInvocation(0, nil) {
+			if e.Block() == header {
+				headerHits++
+			}
+		}
+	}
+	got := float64(headerHits) / n
+	if math.Abs(got-mean) > 0.8 {
+		t.Fatalf("mean iterations %.2f, want ~%.1f", got, mean)
+	}
+}
+
+func TestBackProb(t *testing.T) {
+	if BackProb(1) != 0.01 {
+		t.Error("mean<=1 should clamp")
+	}
+	if got := BackProb(4); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("BackProb(4) = %v, want 0.75", got)
+	}
+}
+
+func TestFillColdHasNoCallsAndValidates(t *testing.T) {
+	p := build(3, func(b *Builder) {
+		r := b.Decl("cold")
+		b.FillCold(r, 20)
+	})
+	for i := range p.Blocks {
+		if p.Blocks[i].HasCall {
+			t.Fatal("cold routine should not call anything")
+		}
+	}
+}
+
+func TestSampleLoopSpecDistribution(t *testing.T) {
+	b := NewBuilder(program.New("t"), rand.New(rand.NewSource(9)))
+	var le6, le25, n int
+	for i := 0; i < 5000; i++ {
+		ls := b.SampleLoopSpec()
+		if ls.MeanIters <= 6 {
+			le6++
+		}
+		if ls.MeanIters <= 25 {
+			le25++
+		}
+		n++
+		if ls.Blocks < 1 || ls.Blocks > 5 {
+			t.Fatalf("loop blocks %d out of range", ls.Blocks)
+		}
+	}
+	// Paper's Figure 4 shape: ~50% of loops ≤6 iterations, ~75% ≤25.
+	if f := float64(le6) / float64(n); f < 0.40 || f > 0.60 {
+		t.Errorf("fraction <=6 iters = %.2f, want ~0.5", f)
+	}
+	if f := float64(le25) / float64(n); f < 0.65 || f > 0.85 {
+		t.Errorf("fraction <=25 iters = %.2f, want ~0.75", f)
+	}
+}
+
+func TestSampleCallLoopItersMostlySmall(t *testing.T) {
+	b := NewBuilder(program.New("t"), rand.New(rand.NewSource(9)))
+	small := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if b.SampleCallLoopIters() <= 10 {
+			small++
+		}
+	}
+	if f := float64(small) / n; f < 0.7 || f > 0.9 {
+		t.Errorf("fraction <=10 iters = %.2f, want ~0.8", f)
+	}
+}
+
+func TestColdChainProbabilitiesAreRare(t *testing.T) {
+	// With a 100% cold-branch probability per step, every hot block gets a
+	// rare side chain; the side-chain entry arcs must carry tiny
+	// probability.
+	p := build(13, func(b *Builder) {
+		r := b.Decl("r")
+		b.Fill(r, Ropt{HotLen: 20, ColdBranchProb: 1.0})
+	})
+	var rare int
+	for i := range p.Blocks {
+		for _, a := range p.Blocks[i].Out {
+			if a.Kind == program.ArcBranch && a.Prob > 0 && a.Prob <= 0.021 {
+				rare++
+			}
+		}
+	}
+	if rare < 15 {
+		t.Fatalf("expected ~20 rare side-chain arcs, found %d", rare)
+	}
+}

@@ -1,0 +1,40 @@
+// Package timing implements the paper's simple execution-time model
+// (Section 5.2): references take 1 cycle, instruction misses stall for a
+// configurable penalty, data references are 30% of instruction references
+// with a fixed 5% miss rate, and I/O slowdown is neglected. The model is
+// used only to translate instruction miss-rate reductions into rough speed
+// increases (Figure 15-b).
+package timing
+
+// Model holds the machine parameters of the Section 5.2 model.
+type Model struct {
+	// MissPenalty is the instruction (and data) miss penalty in cycles;
+	// the paper evaluates 10, 30 and 50.
+	MissPenalty float64
+	// DataRefFraction is the ratio of data references to instruction
+	// references (0.3 in the paper).
+	DataRefFraction float64
+	// DataMissRate is the fixed data-cache miss rate (0.05 in the paper).
+	DataMissRate float64
+}
+
+// PaperModel returns the paper's parameters for a given miss penalty.
+func PaperModel(penalty float64) Model {
+	return Model{MissPenalty: penalty, DataRefFraction: 0.3, DataMissRate: 0.05}
+}
+
+// CyclesPerInstruction returns the cycles spent per instruction reference
+// under the model for a given instruction miss rate.
+func (m Model) CyclesPerInstruction(instrMissRate float64) float64 {
+	instr := 1 + instrMissRate*m.MissPenalty
+	data := m.DataRefFraction * (1 + m.DataMissRate*m.MissPenalty)
+	return instr + data
+}
+
+// SpeedupPct returns the percentage execution-speed increase of a layout
+// with miss rate optRate over one with miss rate baseRate.
+func (m Model) SpeedupPct(baseRate, optRate float64) float64 {
+	tb := m.CyclesPerInstruction(baseRate)
+	to := m.CyclesPerInstruction(optRate)
+	return 100 * (tb - to) / to
+}

@@ -1,0 +1,54 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperModelParameters(t *testing.T) {
+	m := PaperModel(30)
+	if m.MissPenalty != 30 || m.DataRefFraction != 0.3 || m.DataMissRate != 0.05 {
+		t.Fatalf("PaperModel(30) = %+v", m)
+	}
+}
+
+func TestCyclesPerInstruction(t *testing.T) {
+	m := PaperModel(30)
+	// Zero instruction misses: 1 + 0.3*(1 + 0.05*30) = 1 + 0.3*2.5 = 1.75.
+	if got := m.CyclesPerInstruction(0); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("CPI(0) = %v, want 1.75", got)
+	}
+	// 5% instruction miss rate adds 0.05*30 = 1.5 cycles.
+	if got := m.CyclesPerInstruction(0.05); math.Abs(got-3.25) > 1e-12 {
+		t.Fatalf("CPI(0.05) = %v, want 3.25", got)
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	m := PaperModel(30)
+	// Base 5% misses vs optimised 1%: (3.25-2.05)/2.05 = 58.5%.
+	got := m.SpeedupPct(0.05, 0.01)
+	want := 100 * (3.25 - 2.05) / 2.05
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("speedup = %v, want %v", got, want)
+	}
+	if m.SpeedupPct(0.05, 0.05) != 0 {
+		t.Fatal("identical rates should give zero speedup")
+	}
+}
+
+// TestQuickSpeedupMonotone property-checks that lowering the optimised miss
+// rate never reduces the speedup, and that speedups grow with the penalty.
+func TestQuickSpeedupMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		base := 0.001 + float64(a%100)/1000 // 0.1%-10%
+		opt := base * float64(b%100) / 100  // below base
+		m10, m50 := PaperModel(10), PaperModel(50)
+		return m10.SpeedupPct(base, opt) >= 0 &&
+			m50.SpeedupPct(base, opt) >= m10.SpeedupPct(base, opt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"oslayout/internal/program"
+	"oslayout/internal/progtest"
+)
+
+// FuzzReadTrace checks that arbitrary bytes never panic the trace decoder:
+// it must either return a valid trace or an error.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a valid encoding and some corruptions of it.
+	fx := progtest.Figure9()
+	w := NewWalker(fx.Prog, DomainOS, rand.New(rand.NewSource(1)), nil)
+	tr := &Trace{Name: "seed", OS: fx.Prog}
+	tr.Events = append(tr.Events, BeginEvent(program.SeedInterrupt))
+	tr.Events = w.WalkInvocation(fx.Push, tr.Events)
+	tr.Events = append(tr.Events, EndEvent())
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{1, 4, 5, 10, len(valid) / 2} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	mutated := append([]byte{}, valid...)
+	for i := 5; i < len(mutated); i += 7 {
+		mutated[i] ^= 0xFF
+	}
+	f.Add(mutated)
+	f.Add([]byte{})
+	f.Add([]byte("OSLT"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data), fx.Prog, nil)
+		if err != nil {
+			return // rejected input is fine
+		}
+		// Accepted input must produce a structurally sane trace.
+		for _, e := range got.Events {
+			if e.IsBlock() {
+				b := e.Block()
+				if int(b) >= fx.Prog.NumBlocks() {
+					t.Fatalf("decoded out-of-range block %d", b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package trace
+
+// Binary serialisation of traces — the role played in the paper by the
+// performance monitor's buffer dumps ("a workstation connected to the
+// performance monitor dumps the buffers to disk", Section 2.1). Traces are
+// written as a compact delta/varint stream so captured workloads can be
+// stored once and replayed under many layouts and cache organisations.
+//
+// Format (all integers unsigned LEB128 varints unless noted):
+//
+//	magic   "OSLT"            4 bytes
+//	version u8                currently 1
+//	name    varint length + bytes
+//	osName  varint length + bytes      (identity check at load time)
+//	osBlocks varint                    (program shape check)
+//	appName varint length + bytes      (empty = no application)
+//	appBlocks varint
+//	events  varint count, then per event:
+//	          tag  u8  (0 OS block, 1 app block, 2 begin, 3 end)
+//	          payload varint (block id, or seed class for begin)
+//
+// Block IDs are delta-encoded against the previous block of the same domain
+// (zig-zag varint), which keeps hot loops to ~1 byte per event.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"oslayout/internal/program"
+)
+
+const (
+	traceMagic   = "OSLT"
+	traceVersion = 1
+)
+
+// WriteTo serialises the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if err := writeHeader(cw, t); err != nil {
+		return cw.n, err
+	}
+	putUvarint(cw, uint64(len(t.Events)))
+	var prev [NumDomains]int64
+	for _, e := range t.Events {
+		switch {
+		case e.IsBegin():
+			cw.putByte(tagBegin)
+			putUvarint(cw, uint64(e.Class()))
+		case e.IsEnd():
+			cw.putByte(tagEnd)
+		default:
+			d := e.Domain()
+			cw.putByte(byte(d))
+			delta := int64(e.Block()) - prev[d]
+			putVarint(cw, delta)
+			prev[d] = int64(e.Block())
+		}
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, bw.Flush()
+}
+
+func writeHeader(cw *countWriter, t *Trace) error {
+	cw.putBytes(traceMagic)
+	cw.putByte(traceVersion)
+	putString(cw, t.Name)
+	putString(cw, t.OS.Name)
+	putUvarint(cw, uint64(t.OS.NumBlocks()))
+	if t.App != nil {
+		putString(cw, t.App.Name)
+		putUvarint(cw, uint64(t.App.NumBlocks()))
+	} else {
+		putString(cw, "")
+		putUvarint(cw, 0)
+	}
+	return cw.err
+}
+
+// ReadTrace deserialises a trace written by WriteTo. The OS (and, when the
+// trace has one, application) programs must be the same shape as at capture
+// time: the caller regenerates them deterministically from the same seeds.
+func ReadTrace(r io.Reader, osProg, appProg *program.Program) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	name, err := getString(br)
+	if err != nil {
+		return nil, err
+	}
+	osName, err := getString(br)
+	if err != nil {
+		return nil, err
+	}
+	osBlocks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if osProg == nil || osProg.Name != osName || uint64(osProg.NumBlocks()) != osBlocks {
+		return nil, fmt.Errorf("trace: OS program mismatch: stream has %q/%d blocks", osName, osBlocks)
+	}
+	appName, err := getString(br)
+	if err != nil {
+		return nil, err
+	}
+	appBlocks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: name, OS: osProg}
+	if appName != "" {
+		if appProg == nil || appProg.Name != appName || uint64(appProg.NumBlocks()) != appBlocks {
+			return nil, fmt.Errorf("trace: application program mismatch: stream has %q/%d blocks", appName, appBlocks)
+		}
+		t.App = appProg
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	// Cap the initial allocation: count is untrusted input, and every real
+	// event costs at least one byte, so a hostile count cannot force a
+	// larger allocation than the stream itself justifies.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t.Events = make([]Event, 0, capHint)
+	var prev [NumDomains]int64
+	for i := uint64(0); i < count; i++ {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		switch tag {
+		case tagBegin:
+			class, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if class >= program.NumSeedClasses {
+				return nil, fmt.Errorf("trace: event %d: bad seed class %d", i, class)
+			}
+			t.Events = append(t.Events, BeginEvent(program.SeedClass(class)))
+		case tagEnd:
+			t.Events = append(t.Events, EndEvent())
+		case tagOSBlock, tagAppBlock:
+			d := Domain(tag)
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			id := prev[d] + delta
+			limit := int64(osProg.NumBlocks())
+			if d == DomainApp {
+				if t.App == nil {
+					return nil, fmt.Errorf("trace: event %d: application block without application", i)
+				}
+				limit = int64(t.App.NumBlocks())
+			}
+			if id < 0 || id >= limit {
+				return nil, fmt.Errorf("trace: event %d: block %d out of range", i, id)
+			}
+			prev[d] = id
+			t.Events = append(t.Events, BlockEvent(d, program.BlockID(id)))
+		default:
+			return nil, fmt.Errorf("trace: event %d: bad tag %d", i, tag)
+		}
+	}
+	return t, nil
+}
+
+// countWriter tracks bytes written and the first error.
+type countWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+func (cw *countWriter) putByte(b byte) {
+	if cw.err != nil {
+		return
+	}
+	cw.err = cw.w.WriteByte(b)
+	if cw.err == nil {
+		cw.n++
+	}
+}
+
+func (cw *countWriter) putBytes(s string) {
+	if cw.err != nil {
+		return
+	}
+	var n int
+	n, cw.err = cw.w.WriteString(s)
+	cw.n += int64(n)
+}
+
+func putUvarint(cw *countWriter, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	for _, b := range buf[:n] {
+		cw.putByte(b)
+	}
+}
+
+func putVarint(cw *countWriter, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	for _, b := range buf[:n] {
+		cw.putByte(b)
+	}
+}
+
+func putString(cw *countWriter, s string) {
+	putUvarint(cw, uint64(len(s)))
+	cw.putBytes(s)
+}
+
+func getString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oslayout/internal/program"
+	"oslayout/internal/progtest"
+)
+
+func roundTrip(t *testing.T, tr *Trace, appProg *program.Program) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf, tr.OS, appProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	f := progtest.Figure9()
+	w := NewWalker(f.Prog, DomainOS, rand.New(rand.NewSource(3)), nil)
+	tr := &Trace{Name: "fig9-trace", OS: f.Prog}
+	for i := 0; i < 10; i++ {
+		tr.Events = append(tr.Events, BeginEvent(program.SeedInterrupt))
+		tr.Events = w.WalkInvocation(f.Push, tr.Events)
+		tr.Events = append(tr.Events, EndEvent())
+	}
+	got := roundTrip(t, tr, nil)
+	if got.Name != tr.Name || got.App != nil {
+		t.Fatal("metadata lost")
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("event count %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %v != %v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestTraceRoundTripWithApp(t *testing.T) {
+	osP, _ := progtest.Linear(3, 8)
+	osP.Name = "kernel"
+	appP, appR := progtest.Linear(4, 8)
+	appP.Name = "app"
+	w := NewWalker(appP, DomainApp, rand.New(rand.NewSource(1)), nil)
+	tr := &Trace{Name: "mix", OS: osP, App: appP}
+	tr.Events = w.StepN(9, appR, tr.Events)
+	tr.Events = append(tr.Events, BeginEvent(program.SeedSysCall),
+		BlockEvent(DomainOS, 0), EndEvent())
+	got := roundTrip(t, tr, appP)
+	if got.App != appP {
+		t.Fatal("application program not bound")
+	}
+	osRefs, appRefs := got.Refs()
+	wantOS, wantApp := tr.Refs()
+	if osRefs != wantOS || appRefs != wantApp {
+		t.Fatalf("refs %d/%d, want %d/%d", osRefs, appRefs, wantOS, wantApp)
+	}
+}
+
+func TestReadTraceRejectsMismatches(t *testing.T) {
+	p, r := progtest.Linear(3, 8)
+	p.Name = "kernel"
+	w := NewWalker(p, DomainOS, rand.New(rand.NewSource(1)), nil)
+	tr := &Trace{Name: "t", OS: p}
+	tr.Events = w.WalkInvocation(r, tr.Events)
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Wrong program shape.
+	other, _ := progtest.Linear(5, 8)
+	other.Name = "kernel"
+	if _, err := ReadTrace(bytes.NewReader(data), other, nil); err == nil ||
+		!strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("shape mismatch accepted: %v", err)
+	}
+	// Wrong name.
+	renamed, _ := progtest.Linear(3, 8)
+	renamed.Name = "imposter"
+	if _, err := ReadTrace(bytes.NewReader(data), renamed, nil); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	// Corrupted magic.
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadTrace(bytes.NewReader(bad), p, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated stream.
+	if _, err := ReadTrace(bytes.NewReader(data[:len(data)/2]), p, nil); err == nil {
+		t.Fatal("truncation accepted")
+	}
+	// Bad version.
+	bad = append([]byte{}, data...)
+	bad[4] = 99
+	if _, err := ReadTrace(bytes.NewReader(bad), p, nil); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+// TestQuickTraceRoundTrip property-checks the codec over random walks.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	f := func(seed int64, invocations uint8) bool {
+		fx := progtest.Figure9()
+		w := NewWalker(fx.Prog, DomainOS, rand.New(rand.NewSource(seed)), nil)
+		tr := &Trace{Name: "q", OS: fx.Prog}
+		for i := 0; i < int(invocations%20)+1; i++ {
+			tr.Events = append(tr.Events, BeginEvent(program.SeedClass(i%4)))
+			tr.Events = w.WalkInvocation(fx.Push, tr.Events)
+			tr.Events = append(tr.Events, EndEvent())
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf, fx.Prog, nil)
+		if err != nil || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceEncodingIsCompact(t *testing.T) {
+	// Hot-loop traces should encode near 2 bytes/event thanks to the
+	// delta coding.
+	f := progtest.Figure9()
+	w := NewWalker(f.Prog, DomainOS, rand.New(rand.NewSource(3)), nil)
+	tr := &Trace{Name: "c", OS: f.Prog}
+	for i := 0; i < 100; i++ {
+		tr.Events = w.WalkInvocation(f.Push, tr.Events)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / float64(len(tr.Events))
+	if perEvent > 2.5 {
+		t.Fatalf("%.2f bytes/event; the delta codec should stay near 2", perEvent)
+	}
+}

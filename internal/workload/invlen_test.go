@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"oslayout/internal/kernelgen"
+	"oslayout/internal/trace"
+)
+
+// TestInvocationLengths checks that OS invocations have plausible lengths:
+// interrupts are short, system calls longer, and nothing runs away into
+// hundreds of thousands of references (which would indicate nested
+// call-loop multiplication in the generator).
+func TestInvocationLengths(t *testing.T) {
+	k := kernelgen.Build(kernelgen.Config{Seed: 3, TotalCodeBytes: 250 << 10, PoolScale: 0.3})
+	tr, _, err := Generate(k, Shell(), Options{Seed: 5, OSRefs: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classLens := map[string][]int{}
+	var cur int
+	var curClass string
+	for _, e := range tr.Events {
+		switch {
+		case e.IsBegin():
+			cur = 0
+			curClass = e.Class().String()
+		case e.IsEnd():
+			classLens[curClass] = append(classLens[curClass], cur)
+		case e.IsBlock() && e.Domain() == trace.DomainOS:
+			cur += int(trace.RefsOf(tr.OS.Block(e.Block()).Size))
+		}
+	}
+	median := func(c string) int {
+		ls := classLens[c]
+		if len(ls) == 0 {
+			return 0
+		}
+		sort.Ints(ls)
+		return ls[len(ls)/2]
+	}
+	intr, sys := median("Interrupt"), median("SysCall")
+	t.Logf("median refs: interrupt=%d syscall=%d", intr, sys)
+	if intr == 0 || sys == 0 {
+		t.Fatal("missing invocation classes")
+	}
+	if sys < intr {
+		t.Errorf("syscalls (%d refs) should run longer than interrupts (%d refs)", sys, intr)
+	}
+	for c, ls := range classLens {
+		for _, l := range ls {
+			if l > 150_000 {
+				t.Fatalf("%s invocation of %d refs: runaway call-loop nesting", c, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package workload defines the paper's four system-intensive workloads
+// (Section 2.3) and the engine that generates per-CPU instruction traces
+// from them: alternating application bursts and operating-system invocations
+// whose class mix matches Table 1 and whose handler selection matches each
+// workload's character (parallel scientific codes: cross-processor
+// interrupts and scheduling; compiles: file I/O and paging; shell scripts:
+// broad system-call activity).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oslayout/internal/appgen"
+	"oslayout/internal/kernelgen"
+	"oslayout/internal/program"
+	"oslayout/internal/trace"
+)
+
+// Workload describes one system-intensive load.
+type Workload struct {
+	Name string
+	// ClassMix gives the relative frequency of OS invocation classes
+	// (interrupt, page fault, syscall, other) — the paper's Table 1.
+	ClassMix [program.NumSeedClasses]float64
+	// DispatchMix maps a dispatch name ("interrupt", "pagefault",
+	// "syscall", "other") to relative weights over its target handlers.
+	// Targets absent from the map are never selected.
+	DispatchMix map[string]map[string]float64
+	// OSRefShare is the fraction of instruction references belonging to
+	// the operating system (Figure 12's reference breakdown). 1.0 means no
+	// application is traced, as for Shell.
+	OSRefShare float64
+	// Apps lists the application components of the mix.
+	Apps []appgen.Component
+	// AppSeed seeds application code generation.
+	AppSeed int64
+}
+
+// HasApp reports whether the workload traces application references.
+func (w *Workload) HasApp() bool { return len(w.Apps) > 0 && w.OSRefShare < 1 }
+
+// BuildApp synthesizes the workload's application image, or returns nil for
+// OS-only workloads.
+func (w *Workload) BuildApp() *appgen.App {
+	if !w.HasApp() {
+		return nil
+	}
+	return appgen.Build(w.Name+"-app", w.AppSeed, w.Apps...)
+}
+
+// TRFD4 is the paper's TRFD_4: four copies of hand-parallelised TRFD.
+// Dominated by cross-processor interrupts, synchronisation and scheduling;
+// no system calls.
+func TRFD4() Workload {
+	return Workload{
+		Name:     "TRFD_4",
+		ClassMix: [4]float64{0.760, 0.230, 0.000, 0.010},
+		DispatchMix: map[string]map[string]float64{
+			"interrupt": {"clock": 30, "ipi": 40, "sync": 25, "soft": 5},
+			"pagefault": {"tlbmiss": 50, "zfod": 25, "pagein": 8, "cow": 7, "stackgrow": 10},
+			"syscall":   {"getpid": 1},
+			"other":     {"ctxsw": 70, "fpemul": 10, "signal": 5, "misctrap": 15},
+		},
+		OSRefShare: 0.60,
+		Apps:       []appgen.Component{appgen.TRFD()},
+		AppSeed:    101,
+	}
+}
+
+// TRFDMake is TRFD+Make: one TRFD plus compilations — a mixed
+// parallel/serial load with substantial paging and file-system traffic.
+func TRFDMake() Workload {
+	return Workload{
+		Name:     "TRFD+Make",
+		ClassMix: [4]float64{0.657, 0.213, 0.112, 0.018},
+		DispatchMix: map[string]map[string]float64{
+			"interrupt": {"clock": 35, "ipi": 25, "sync": 13, "disk": 17, "tty": 2, "soft": 8},
+			"pagefault": {"tlbmiss": 35, "pagein": 22, "zfod": 20, "cow": 12, "stackgrow": 9, "prot": 2},
+			"syscall": {
+				"read": 22, "write": 14, "open": 12, "close": 12, "stat": 8,
+				"lseek": 4, "brk": 5, "fork": 3, "execve": 3, "exit": 3,
+				"wait4": 3, "getpid": 2, "sigaction": 1, "ioctl": 2, "access": 3,
+				"unlink": 2, "fstat": 1,
+			},
+			"other": {"ctxsw": 75, "signal": 10, "misctrap": 15},
+		},
+		OSRefShare: 0.50,
+		Apps:       []appgen.Component{appgen.TRFD(), appgen.Make()},
+		AppSeed:    202,
+	}
+}
+
+// ARC2DFsck is ARC2D+Fsck: four copies of ARC2D plus a file-system check —
+// scientific loops plus varied I/O.
+func ARC2DFsck() Workload {
+	return Workload{
+		Name:     "ARC2D+Fsck",
+		ClassMix: [4]float64{0.738, 0.219, 0.024, 0.019},
+		DispatchMix: map[string]map[string]float64{
+			"interrupt": {"clock": 30, "ipi": 30, "sync": 18, "disk": 16, "soft": 6},
+			"pagefault": {"tlbmiss": 42, "pagein": 16, "zfod": 22, "cow": 10, "stackgrow": 10},
+			"syscall": {
+				"read": 30, "write": 18, "open": 10, "close": 10, "stat": 9,
+				"lseek": 10, "fsync": 4, "brk": 4, "fstat": 3, "getpid": 2,
+			},
+			"other": {"ctxsw": 72, "signal": 8, "misctrap": 16, "fpemul": 4},
+		},
+		OSRefShare: 0.45,
+		Apps:       []appgen.Component{appgen.ARC2D(), appgen.Fsck()},
+		AppSeed:    303,
+	}
+}
+
+// Shell is the paper's heavy multiprogrammed shell-script load: broad
+// system-call activity including process creation, I/O and networking.
+// Application references are not traced (as in the paper, where the tiny
+// application contribution of who/finger/etc. was unavailable).
+func Shell() Workload {
+	return Workload{
+		Name:     "Shell",
+		ClassMix: [4]float64{0.297, 0.120, 0.547, 0.036},
+		DispatchMix: map[string]map[string]float64{
+			"interrupt": {"clock": 38, "disk": 22, "tty": 14, "net": 10, "soft": 10, "ipi": 6},
+			"pagefault": {"tlbmiss": 28, "zfod": 30, "pagein": 18, "cow": 16, "stackgrow": 6, "prot": 2},
+			"syscall": {
+				"read": 12, "write": 10, "open": 9, "close": 9, "stat": 8,
+				"fork": 6, "execve": 6, "exit": 6, "wait4": 6, "brk": 4,
+				"pipe": 3, "dup": 3, "ioctl": 3, "getpid": 2, "getuid": 2,
+				"select": 2, "socket": 2, "send": 2, "recv": 2, "kill": 1,
+				"sigaction": 2, "access": 2, "chdir": 2, "unlink": 1,
+				"gettimeofday": 2, "umask": 1, "fcntl": 1, "lseek": 2,
+			},
+			"other": {"ctxsw": 58, "signal": 26, "misctrap": 11, "fpemul": 5},
+		},
+		OSRefShare: 1.0,
+	}
+}
+
+// Paper returns the four workloads of the paper, in its order.
+func Paper() []Workload {
+	return []Workload{TRFD4(), TRFDMake(), ARC2DFsck(), Shell()}
+}
+
+// OLTP is an extension workload: the transaction-processing load the paper
+// could not trace ("While we have not been able to run any database
+// workload, Shell has some similarity with database loads in that both
+// loads have heavy system call activity", Section 2.3). It is dominated by
+// read/write/lseek system calls with fsync bursts, network send/recv, and
+// the disk interrupts they cause. Like Shell, no application is traced.
+func OLTP() Workload {
+	return Workload{
+		Name:     "OLTP",
+		ClassMix: [4]float64{0.22, 0.08, 0.66, 0.04},
+		DispatchMix: map[string]map[string]float64{
+			"interrupt": {"clock": 30, "disk": 40, "net": 20, "soft": 10},
+			"pagefault": {"tlbmiss": 50, "zfod": 20, "pagein": 20, "cow": 10},
+			"syscall": {
+				"read": 30, "write": 22, "lseek": 18, "fsync": 8,
+				"send": 6, "recv": 6, "select": 4, "open": 2, "close": 2,
+				"gettimeofday": 2,
+			},
+			"other": {"ctxsw": 70, "signal": 20, "misctrap": 10},
+		},
+		OSRefShare: 1.0,
+	}
+}
+
+// Options controls trace generation.
+type Options struct {
+	// Seed seeds the trace walker's random source.
+	Seed int64
+	// OSRefs is the target number of OS instruction-word references;
+	// generation stops once it is reached. Default 2,000,000.
+	OSRefs uint64
+	// AppBurstBlocks is the mean application burst length in basic blocks
+	// between OS invocations. Default 5000.
+	AppBurstBlocks int
+	// BurstsPerSwitch is how many bursts run before the engine switches to
+	// the next application in the mix. Default 8.
+	BurstsPerSwitch int
+}
+
+func (o *Options) fill() {
+	if o.OSRefs == 0 {
+		o.OSRefs = 2_000_000
+	}
+	if o.AppBurstBlocks == 0 {
+		o.AppBurstBlocks = 5000
+	}
+	if o.BurstsPerSwitch == 0 {
+		o.BurstsPerSwitch = 8
+	}
+}
+
+// selector implements trace.Selector from the workload's dispatch mixes.
+type selector struct {
+	rng *rand.Rand
+	// cum[d] are cumulative probabilities over candidate arcs of dispatch d;
+	// arcs[d] are the arc indices they select.
+	cum  [][]float64
+	arcs [][]int
+}
+
+func newSelector(k *kernelgen.Kernel, w *Workload, rng *rand.Rand) (*selector, error) {
+	n := int(k.Prog.NumDispatch)
+	s := &selector{rng: rng, cum: make([][]float64, n), arcs: make([][]int, n)}
+	for name, info := range k.Dispatches {
+		mix, ok := w.DispatchMix[name]
+		if !ok || len(mix) == 0 {
+			// Unused dispatch (e.g. syscalls in TRFD_4): uniform fallback;
+			// it is only exercised if the class mix is nonzero.
+			for i := range info.Targets {
+				s.arcs[info.ID] = append(s.arcs[info.ID], i)
+				s.cum[info.ID] = append(s.cum[info.ID], float64(i+1)/float64(len(info.Targets)))
+			}
+			continue
+		}
+		var total float64
+		for _, v := range mix {
+			total += v
+		}
+		var cum float64
+		// Iterate targets in arc order for determinism.
+		for i, t := range info.Targets {
+			v, ok := mix[t]
+			if !ok {
+				continue
+			}
+			cum += v / total
+			s.arcs[info.ID] = append(s.arcs[info.ID], i)
+			s.cum[info.ID] = append(s.cum[info.ID], cum)
+		}
+		for t := range mix {
+			if _, err := info.ArcOf(t); err != nil {
+				return nil, fmt.Errorf("workload %s: dispatch %s: %v", w.Name, name, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Select implements trace.Selector.
+func (s *selector) Select(d program.DispatchID, numArcs int) int {
+	cum, arcs := s.cum[d], s.arcs[d]
+	if len(arcs) == 0 {
+		return 0
+	}
+	x := s.rng.Float64()
+	for i, c := range cum {
+		if x < c {
+			return arcs[i]
+		}
+	}
+	return arcs[len(arcs)-1]
+}
+
+// Generate produces one per-CPU trace of the workload running on the kernel,
+// along with the synthesized application image (nil for OS-only workloads).
+// The trace alternates application bursts and OS invocations so that the OS
+// share of references converges to the workload's OSRefShare, the invocation
+// class mix follows ClassMix, and handler selection follows DispatchMix.
+func Generate(k *kernelgen.Kernel, w Workload, opt Options) (*trace.Trace, *appgen.App, error) {
+	opt.fill()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	sel, err := newSelector(k, &w, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t := &trace.Trace{Name: w.Name, OS: k.Prog}
+	osWalker := trace.NewWalker(k.Prog, trace.DomainOS, rng, sel)
+
+	var app *appgen.App
+	var appWalkers []*trace.Walker
+	if w.HasApp() {
+		app = w.BuildApp()
+		t.App = app.Prog
+		for range app.Mains {
+			appWalkers = append(appWalkers, trace.NewWalker(app.Prog, trace.DomainApp, rng, nil))
+		}
+	}
+
+	// Cumulative class distribution.
+	var classCum [program.NumSeedClasses]float64
+	{
+		var total float64
+		for _, v := range w.ClassMix {
+			total += v
+		}
+		if total == 0 {
+			return nil, nil, fmt.Errorf("workload %s: empty class mix", w.Name)
+		}
+		var cum float64
+		for i, v := range w.ClassMix {
+			cum += v / total
+			classCum[i] = cum
+		}
+	}
+	sampleClass := func() program.SeedClass {
+		x := rng.Float64()
+		for i, c := range classCum {
+			if x < c {
+				return program.SeedClass(i)
+			}
+		}
+		return program.SeedOther
+	}
+
+	var osRefs, appRefs uint64
+	countFrom := func(start int) {
+		for _, e := range t.Events[start:] {
+			if !e.IsBlock() {
+				continue
+			}
+			if e.Domain() == trace.DomainOS {
+				osRefs += trace.RefsOf(t.OS.Block(e.Block()).Size)
+			} else {
+				appRefs += trace.RefsOf(t.App.Block(e.Block()).Size)
+			}
+		}
+	}
+
+	curApp, burstCount := 0, 0
+	for osRefs < opt.OSRefs {
+		// Run the application whenever its reference share has fallen below
+		// target; otherwise service an OS invocation.
+		wantApp := false
+		if app != nil {
+			total := osRefs + appRefs
+			wantApp = total == 0 ||
+				float64(appRefs)/float64(total) < 1-w.OSRefShare
+		}
+		start := len(t.Events)
+		if wantApp {
+			n := 1 + rng.Intn(2*opt.AppBurstBlocks)
+			wk := appWalkers[curApp]
+			t.Events = wk.StepN(n, app.Mains[curApp], t.Events)
+			burstCount++
+			if burstCount >= opt.BurstsPerSwitch {
+				burstCount = 0
+				curApp = (curApp + 1) % len(appWalkers)
+			}
+		} else {
+			class := sampleClass()
+			seed := k.Prog.Seeds[class]
+			if seed == program.NoRoutine {
+				return nil, nil, fmt.Errorf("workload %s: kernel has no seed for class %s", w.Name, class)
+			}
+			t.Events = append(t.Events, trace.BeginEvent(class))
+			t.Events = osWalker.WalkInvocation(seed, t.Events)
+			t.Events = append(t.Events, trace.EndEvent())
+		}
+		countFrom(start)
+	}
+	return t, app, nil
+}

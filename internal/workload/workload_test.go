@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"oslayout/internal/kernelgen"
+	"oslayout/internal/profile"
+	"oslayout/internal/program"
+	"oslayout/internal/trace"
+)
+
+func testKernel(t *testing.T) *kernelgen.Kernel {
+	t.Helper()
+	return kernelgen.Build(kernelgen.Config{Seed: 3, TotalCodeBytes: 250 << 10, PoolScale: 0.3})
+}
+
+func TestPaperWorkloadsWellFormed(t *testing.T) {
+	ws := Paper()
+	if len(ws) != 4 {
+		t.Fatalf("%d workloads, want 4", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		names[w.Name] = true
+		var sum float64
+		for _, v := range w.ClassMix {
+			if v < 0 {
+				t.Errorf("%s: negative class weight", w.Name)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 0.02 {
+			t.Errorf("%s: class mix sums to %.3f", w.Name, sum)
+		}
+	}
+	for _, n := range []string{"TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"} {
+		if !names[n] {
+			t.Errorf("missing workload %s", n)
+		}
+	}
+}
+
+func TestDispatchMixTargetsResolve(t *testing.T) {
+	k := testKernel(t)
+	for _, w := range Paper() {
+		for dname, mix := range w.DispatchMix {
+			info, ok := k.Dispatches[dname]
+			if !ok {
+				t.Fatalf("%s references unknown dispatch %q", w.Name, dname)
+			}
+			for target := range mix {
+				if _, err := info.ArcOf(target); err != nil {
+					t.Errorf("%s: dispatch %s: %v", w.Name, dname, err)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateClassMixAndShare(t *testing.T) {
+	k := testKernel(t)
+	for _, w := range Paper() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			tr, app, err := Generate(k, w, Options{Seed: 5, OSRefs: 200_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.HasApp() && (app == nil || tr.App == nil) {
+				t.Fatal("application missing from trace")
+			}
+			if !w.HasApp() && tr.App != nil {
+				t.Fatal("unexpected application in OS-only workload")
+			}
+			osProf, _ := profile.FromTrace(tr)
+			total := float64(osProf.TotalInvocations())
+			if total < 20 {
+				t.Fatalf("only %v invocations", total)
+			}
+			// Binomial tolerance: a few long invocations per trace mean the
+			// sample can be small.
+			tol := 0.04 + 1.5/math.Sqrt(total)
+			for c := 0; c < program.NumSeedClasses; c++ {
+				got := float64(osProf.ClassInv[c]) / total
+				if math.Abs(got-w.ClassMix[c]) > tol {
+					t.Errorf("class %v share %.3f, want ~%.3f",
+						program.SeedClass(c), got, w.ClassMix[c])
+				}
+			}
+			osRefs, appRefs := tr.Refs()
+			if osRefs < 200_000 {
+				t.Errorf("osRefs = %d, want >= target", osRefs)
+			}
+			share := float64(osRefs) / float64(osRefs+appRefs)
+			if math.Abs(share-w.OSRefShare) > 0.08 {
+				t.Errorf("OS ref share %.2f, want ~%.2f", share, w.OSRefShare)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	k := testKernel(t)
+	w := TRFDMake()
+	a, _, err := Generate(k, w, Options{Seed: 7, OSRefs: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(k, w, Options{Seed: 7, OSRefs: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	c, _, err := Generate(k, w, Options{Seed: 8, OSRefs: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateUnknownDispatchTargetFails(t *testing.T) {
+	k := testKernel(t)
+	w := Shell()
+	w.DispatchMix["syscall"]["no_such_call"] = 5
+	if _, _, err := Generate(k, w, Options{Seed: 1, OSRefs: 10_000}); err == nil {
+		t.Fatal("unknown dispatch target accepted")
+	}
+}
+
+func TestGenerateEmptyClassMixFails(t *testing.T) {
+	k := testKernel(t)
+	w := Shell()
+	w.ClassMix = [4]float64{}
+	if _, _, err := Generate(k, w, Options{Seed: 1, OSRefs: 10_000}); err == nil {
+		t.Fatal("empty class mix accepted")
+	}
+}
+
+func TestTraceMarkersBalanced(t *testing.T) {
+	k := testKernel(t)
+	tr, _, err := Generate(k, Shell(), Options{Seed: 5, OSRefs: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	for _, e := range tr.Events {
+		switch {
+		case e.IsBegin():
+			depth++
+			if depth != 1 {
+				t.Fatal("nested invocation markers")
+			}
+		case e.IsEnd():
+			depth--
+			if depth != 0 {
+				t.Fatal("unbalanced end marker")
+			}
+		case e.Domain() == trace.DomainOS && depth != 1:
+			t.Fatal("OS block outside an invocation")
+		case e.Domain() == trace.DomainApp && depth != 0:
+			t.Fatal("app block inside an invocation")
+		}
+	}
+	if depth != 0 {
+		t.Fatal("trace ends mid-invocation")
+	}
+}
+
+func TestDispatchMixIsRespected(t *testing.T) {
+	k := testKernel(t)
+	w := TRFD4()
+	// TRFD_4 never takes disk/net/tty interrupts; verify those handlers
+	// never execute.
+	tr, _, err := Generate(k, w, Options{Seed: 5, OSRefs: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	osProf, _ := profile.FromTrace(tr)
+	for _, name := range []string{"disk_intr", "tty_intr", "net_intr"} {
+		r := k.Routines[name]
+		if osProf.RoutineInv[r] != 0 {
+			t.Errorf("%s invoked %d times; TRFD_4 mix excludes it", name, osProf.RoutineInv[r])
+		}
+	}
+	// The clock handler must be hot.
+	if osProf.RoutineInv[k.Routines["hardclock"]] == 0 {
+		t.Error("hardclock never invoked under TRFD_4")
+	}
+}
+
+func TestOLTPWorkloadGenerates(t *testing.T) {
+	k := testKernel(t)
+	w := OLTP()
+	tr, app, err := Generate(k, w, Options{Seed: 5, OSRefs: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != nil || tr.App != nil {
+		t.Fatal("OLTP traces no application")
+	}
+	osProf, _ := profile.FromTrace(tr)
+	total := float64(osProf.TotalInvocations())
+	if total == 0 {
+		t.Fatal("no invocations")
+	}
+	if got := float64(osProf.ClassInv[program.SeedSysCall]) / total; got < 0.4 {
+		t.Errorf("OLTP syscall share %.2f, want syscall-dominated", got)
+	}
+	// The heavy transaction calls must actually occur.
+	for _, name := range []string{"sys_read", "sys_write", "sys_lseek"} {
+		if osProf.RoutineInv[k.Routines[name]] == 0 {
+			t.Errorf("%s never invoked under OLTP", name)
+		}
+	}
+}

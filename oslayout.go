@@ -1,0 +1,327 @@
+// Package oslayout is the public API of this reproduction of Torrellas, Xia
+// and Daigle, "Optimizing Instruction Cache Performance for Operating System
+// Intensive Workloads" (HPCA 1995).
+//
+// The package wires together the substrates under internal/ — the synthetic
+// kernel and application generators, the trace engine, the profiler, the
+// placement algorithms (Base, Chang-Hwu, and the paper's OptS/OptL/OptA with
+// SelfConfFree area and loop/call optimisations), and the cache simulator —
+// into a Study: one fully reproducible end-to-end experiment environment.
+//
+// A minimal session:
+//
+//	st, err := oslayout.NewStudy(oslayout.StudyOptions{})
+//	...
+//	base := st.BaseLayout()
+//	plan, err := st.OptS(8 << 10)
+//	res, err := st.Evaluate(0, base, nil, oslayout.CacheConfig{Size: 8 << 10, Line: 32, Assoc: 1})
+//
+// Everything is deterministic for fixed seeds; see examples/ for complete
+// programs and cmd/oslayout for the experiment driver that regenerates every
+// table and figure of the paper.
+package oslayout
+
+import (
+	"fmt"
+
+	"oslayout/internal/appgen"
+	"oslayout/internal/cache"
+	"oslayout/internal/chlayout"
+	"oslayout/internal/core"
+	"oslayout/internal/kernelgen"
+	"oslayout/internal/layout"
+	"oslayout/internal/profile"
+	"oslayout/internal/program"
+	"oslayout/internal/simulate"
+	"oslayout/internal/trace"
+	"oslayout/internal/workload"
+)
+
+// Re-exported core types, so example programs and downstream users need only
+// this package for common tasks.
+type (
+	// Program is a control-flow graph: a kernel or an application.
+	Program = program.Program
+	// Kernel is a synthesized operating system.
+	Kernel = kernelgen.Kernel
+	// KernelConfig parameterises kernel synthesis.
+	KernelConfig = kernelgen.Config
+	// Workload describes one system-intensive load.
+	Workload = workload.Workload
+	// TraceOptions controls trace generation.
+	TraceOptions = workload.Options
+	// Trace is a captured instruction-fetch stream.
+	Trace = trace.Trace
+	// Profile holds measured execution counts for one program.
+	Profile = profile.Profile
+	// Layout maps basic blocks to memory addresses.
+	Layout = layout.Layout
+	// Plan is the full output of the paper's placement algorithm.
+	Plan = core.Plan
+	// PlacementParams configures the paper's placement algorithm.
+	PlacementParams = core.Params
+	// CacheConfig describes a cache organisation.
+	CacheConfig = cache.Config
+	// CacheStats accumulates per-domain reference and miss counts.
+	CacheStats = cache.Stats
+	// Result is the outcome of one cache simulation run.
+	Result = simulate.Result
+	// App is a synthesized application image.
+	App = appgen.App
+)
+
+// DefaultKernelConfig returns the kernel configuration used by the paper
+// experiments.
+func DefaultKernelConfig() KernelConfig { return kernelgen.DefaultConfig() }
+
+// PaperWorkloads returns the paper's four workloads: TRFD_4, TRFD+Make,
+// ARC2D+Fsck and Shell.
+func PaperWorkloads() []Workload { return workload.Paper() }
+
+// OLTPWorkload returns the extension transaction-processing workload (the
+// database-like load the paper could not trace).
+func OLTPWorkload() Workload { return workload.OLTP() }
+
+// DefaultPlacementParams returns the paper's OptS parameters for the given
+// cache size.
+func DefaultPlacementParams(cacheSize int) PlacementParams { return core.DefaultParams(cacheSize) }
+
+// StudyOptions configures NewStudy.
+type StudyOptions struct {
+	// Kernel configures kernel synthesis; the zero value selects
+	// DefaultKernelConfig.
+	Kernel KernelConfig
+	// Workloads lists the workloads to trace; nil selects PaperWorkloads.
+	Workloads []Workload
+	// Trace controls trace generation; the zero value selects the package
+	// defaults (2M OS references per workload).
+	Trace TraceOptions
+}
+
+// WorkloadData holds everything captured for one workload.
+type WorkloadData struct {
+	Workload Workload
+	Trace    *Trace
+	// App is the application image, nil for OS-only workloads.
+	App *App
+	// OSProfile is the kernel profile measured from this workload's trace.
+	OSProfile *Profile
+	// AppProfile is the application profile, nil without an application.
+	AppProfile *Profile
+}
+
+// Study is one end-to-end experiment environment: a kernel, a set of traced
+// workloads, their profiles, and the machinery to build and evaluate
+// layouts. All layout construction uses the average of the workload profiles
+// applied to the kernel, exactly as in the paper ("the layouts are created
+// after taking the average of the profiles of all the workloads").
+type Study struct {
+	Kernel    *Kernel
+	Data      []*WorkloadData
+	AvgOS     *Profile
+	traceOpts TraceOptions
+}
+
+// NewStudy builds the kernel, traces every workload, profiles the traces and
+// computes the averaged kernel profile.
+func NewStudy(opts StudyOptions) (*Study, error) {
+	if opts.Workloads == nil {
+		opts.Workloads = PaperWorkloads()
+	}
+	if opts.Kernel.TotalCodeBytes == 0 && opts.Kernel.Seed == 0 && opts.Kernel.PoolScale == 0 {
+		opts.Kernel = DefaultKernelConfig()
+	}
+	k := kernelgen.Build(opts.Kernel)
+	st := &Study{Kernel: k, traceOpts: opts.Trace}
+
+	var osProfiles []*Profile
+	for i, w := range opts.Workloads {
+		to := opts.Trace
+		if to.Seed == 0 {
+			to.Seed = int64(7001 + 13*i)
+		}
+		t, app, err := workload.Generate(k, w, to)
+		if err != nil {
+			return nil, fmt.Errorf("oslayout: generating %s: %w", w.Name, err)
+		}
+		osp, appp := profile.FromTrace(t)
+		st.Data = append(st.Data, &WorkloadData{
+			Workload: w, Trace: t, App: app, OSProfile: osp, AppProfile: appp,
+		})
+		osProfiles = append(osProfiles, osp)
+	}
+	avg, err := profile.Average(osProfiles...)
+	if err != nil {
+		return nil, fmt.Errorf("oslayout: averaging profiles: %w", err)
+	}
+	st.AvgOS = avg
+	return st, nil
+}
+
+// UseAverageProfile applies the averaged kernel profile to the kernel
+// program's weight fields (the state layout builders read).
+func (s *Study) UseAverageProfile() error { return s.AvgOS.Apply(s.Kernel.Prog) }
+
+// UseWorkloadProfile applies workload i's kernel profile instead, for
+// cross-profile robustness experiments.
+func (s *Study) UseWorkloadProfile(i int) error {
+	return s.Data[i].OSProfile.Apply(s.Kernel.Prog)
+}
+
+// BaseLayout returns the kernel's original (link-order) layout.
+func (s *Study) BaseLayout() *Layout { return layout.NewBase(s.Kernel.Prog, 0) }
+
+// CHLayout builds the Chang-Hwu layout of the kernel from the averaged
+// profile.
+func (s *Study) CHLayout() (*Layout, error) {
+	if err := s.UseAverageProfile(); err != nil {
+		return nil, err
+	}
+	return chlayout.New(s.Kernel.Prog, 0), nil
+}
+
+// Optimize runs the paper's placement algorithm on the kernel with the given
+// parameters, using the averaged profile.
+func (s *Study) Optimize(params PlacementParams) (*Plan, error) {
+	if err := s.UseAverageProfile(); err != nil {
+		return nil, err
+	}
+	return core.Optimize(s.Kernel.Prog, core.SeedEntries(s.Kernel.Prog), 0, params)
+}
+
+// OptimizeWithCurrentProfile runs the placement algorithm against whatever
+// profile is currently applied to the kernel program (set via
+// UseWorkloadProfile, UseAverageProfile, or a custom Profile.Apply) — for
+// cross-profile robustness experiments.
+func (s *Study) OptimizeWithCurrentProfile(params PlacementParams) (*Plan, error) {
+	return core.Optimize(s.Kernel.Prog, core.SeedEntries(s.Kernel.Prog), 0, params)
+}
+
+// AverageProfiles combines several profiles of the same program into one,
+// normalising each to equal total mass first (see profile.Average).
+func AverageProfiles(ps []*Profile) (*Profile, error) {
+	return profile.Average(ps...)
+}
+
+// OptS builds the paper's OptS layout (sequences + SelfConfFree area) for
+// the given cache size.
+func (s *Study) OptS(cacheSize int) (*Plan, error) {
+	return s.Optimize(core.DefaultParams(cacheSize))
+}
+
+// OptL builds OptS plus the simple loop optimisation of Section 4.3.
+func (s *Study) OptL(cacheSize int) (*Plan, error) {
+	p := core.DefaultParams(cacheSize)
+	p.Name = "OptL"
+	p.LoopExtract = true
+	return s.Optimize(p)
+}
+
+// OptCall builds OptS plus the Section 4.4 advanced loop-with-callees
+// optimisation (the "Call" bars of Figure 18).
+func (s *Study) OptCall(cacheSize int) (*Plan, error) {
+	p := core.DefaultParams(cacheSize)
+	p.Name = "Call"
+	p.LoopExtract = true
+	p.CallOpt = true
+	return s.Optimize(p)
+}
+
+// AppBaseLayout returns the original layout of workload i's application,
+// or nil when it has none.
+func (s *Study) AppBaseLayout(i int) *Layout {
+	d := s.Data[i]
+	if d.App == nil {
+		return nil
+	}
+	return layout.NewBase(d.App.Prog, simulate.AppBase)
+}
+
+// AppOptLayout builds the paper's application layout for workload i: the
+// sequence algorithm seeded at each main, no SelfConfFree area, with the
+// simple loop optimisation, placed "starting from the side opposite" the
+// operating system's hot area (the image is offset within the cache so the
+// application's hot sequences start where the OS hot area ends).
+func (s *Study) AppOptLayout(i, cacheSize int, osHotBytes int64) (*Plan, error) {
+	d := s.Data[i]
+	if d.App == nil {
+		return nil, nil
+	}
+	if err := d.AppProfile.Apply(d.App.Prog); err != nil {
+		return nil, err
+	}
+	params := core.Params{
+		Name:               "OptA-app",
+		CacheSize:          cacheSize,
+		SelfConfFreeCutoff: 0, // "we do not set up any SelfConfFree area"
+		LoopExtract:        true,
+		LoopMinTrips:       6,
+	}
+	// Place the application so its hottest code begins at the cache offset
+	// where the operating system's hot area ends (wrapping modulo the
+	// cache). AppBase is a multiple of every cache size used, so the image
+	// base fixes the cache offset directly.
+	offset := uint64(osHotBytes) % uint64(cacheSize)
+	base := uint64(simulate.AppBase) + offset
+	return core.Optimize(d.App.Prog, core.MainEntries(d.App.Prog, d.App.Mains), base, params)
+}
+
+// OSHotBytes reports the extent of the hot OS area for OptA alignment: the
+// SelfConfFree area plus the main sequences, capped at the cache size.
+func OSHotBytes(plan *Plan, cacheSize int) int64 {
+	n := plan.SCFBytes
+	for _, seq := range plan.Sequences {
+		if seq.Thresh.Exec >= 0.001 {
+			n += seq.Bytes
+		}
+	}
+	if n > int64(cacheSize) {
+		n = int64(cacheSize)
+	}
+	return n
+}
+
+// Evaluate replays workload i's trace through one cache under the given
+// layouts. appL may be nil for OS-only workloads or Base-app runs (in which
+// case the Base application layout is used when the workload has one).
+func (s *Study) Evaluate(i int, osL, appL *Layout, cfg CacheConfig) (*Result, error) {
+	d := s.Data[i]
+	if appL == nil && d.App != nil {
+		appL = s.AppBaseLayout(i)
+	}
+	return simulate.Run(d.Trace, osL, appL, cfg)
+}
+
+// EvaluateSplit replays workload i's trace through the paper's "Sep" setup:
+// the cache statically partitioned between OS and application.
+func (s *Study) EvaluateSplit(i int, osL, appL *Layout, osCfg, appCfg CacheConfig) (*Result, error) {
+	d := s.Data[i]
+	if appL == nil && d.App != nil {
+		appL = s.AppBaseLayout(i)
+	}
+	return simulate.RunSplit(d.Trace, osL, appL, osCfg, appCfg)
+}
+
+// EvaluateReserved replays workload i's trace through the paper's "Resv"
+// setup: a small dedicated cache for the reserved hot OS blocks and a main
+// cache for everything else.
+func (s *Study) EvaluateReserved(i int, osL, appL *Layout, reserved []program.BlockID, smallCfg, mainCfg CacheConfig) (*Result, error) {
+	d := s.Data[i]
+	if appL == nil && d.App != nil {
+		appL = s.AppBaseLayout(i)
+	}
+	set := make(map[program.BlockID]bool, len(reserved))
+	for _, b := range reserved {
+		set[b] = true
+	}
+	return simulate.RunReserved(d.Trace, osL, appL, set, smallCfg, mainCfg)
+}
+
+// WorkloadNames returns the study's workload names in order.
+func (s *Study) WorkloadNames() []string {
+	names := make([]string, len(s.Data))
+	for i, d := range s.Data {
+		names[i] = d.Workload.Name
+	}
+	return names
+}

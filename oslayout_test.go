@@ -1,0 +1,329 @@
+package oslayout
+
+import (
+	"bytes"
+	"testing"
+
+	"oslayout/internal/cache"
+	"oslayout/internal/program"
+	"oslayout/internal/simulate"
+	"oslayout/internal/trace"
+)
+
+// smallStudy builds a fast study for API tests.
+func smallStudy(t *testing.T) *Study {
+	t.Helper()
+	st, err := NewStudy(StudyOptions{
+		Kernel: KernelConfig{Seed: 11, TotalCodeBytes: 250 << 10, PoolScale: 0.3},
+		Trace:  TraceOptions{OSRefs: 300_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestNewStudyDefaults(t *testing.T) {
+	st := smallStudy(t)
+	if len(st.Data) != 4 {
+		t.Fatalf("%d workloads, want 4 (paper defaults)", len(st.Data))
+	}
+	names := st.WorkloadNames()
+	if names[0] != "TRFD_4" || names[3] != "Shell" {
+		t.Fatalf("workload names = %v", names)
+	}
+	for _, d := range st.Data {
+		if d.OSProfile.Total() == 0 {
+			t.Fatalf("%s: empty OS profile", d.Workload.Name)
+		}
+		if d.Workload.HasApp() != (d.App != nil) {
+			t.Fatalf("%s: app presence mismatch", d.Workload.Name)
+		}
+		if d.Workload.HasApp() && d.AppProfile == nil {
+			t.Fatalf("%s: missing app profile", d.Workload.Name)
+		}
+	}
+	if st.AvgOS == nil || st.AvgOS.Total() == 0 {
+		t.Fatal("averaged profile missing")
+	}
+}
+
+func TestProfileSwitching(t *testing.T) {
+	st := smallStudy(t)
+	if err := st.UseWorkloadProfile(0); err != nil {
+		t.Fatal(err)
+	}
+	w0 := st.Kernel.Prog.TotalWeight()
+	if err := st.UseWorkloadProfile(3); err != nil {
+		t.Fatal(err)
+	}
+	w3 := st.Kernel.Prog.TotalWeight()
+	if w0 == w3 {
+		t.Fatal("switching profiles did not change kernel weights")
+	}
+	if err := st.UseAverageProfile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutFamilyOnStudy(t *testing.T) {
+	st := smallStudy(t)
+	base := st.BaseLayout()
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := st.CHLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, build := range []func(int) (*Plan, error){st.OptS, st.OptL, st.OptCall} {
+		plan, err := build(8 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Layout.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEvaluateAgainstEachLayout(t *testing.T) {
+	st := smallStudy(t)
+	cfg := CacheConfig{Size: 8 << 10, Line: 32, Assoc: 1}
+	base := st.BaseLayout()
+	plan, err := st.OptS(cfg.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Data {
+		rb, err := st.Evaluate(i, base, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := st.Evaluate(i, plan.Layout, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.Stats.TotalRefs() != ro.Stats.TotalRefs() {
+			t.Fatalf("%s: reference counts differ across layouts (%d vs %d)",
+				st.Data[i].Workload.Name, rb.Stats.TotalRefs(), ro.Stats.TotalRefs())
+		}
+		if ro.Stats.TotalMisses() >= rb.Stats.TotalMisses() {
+			t.Errorf("%s: OptS (%d) did not beat Base (%d)",
+				st.Data[i].Workload.Name, ro.Stats.TotalMisses(), rb.Stats.TotalMisses())
+		}
+	}
+}
+
+func TestAppOptLayout(t *testing.T) {
+	st := smallStudy(t)
+	plan, err := st.OptS(8 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := OSHotBytes(plan, 8<<10)
+	if hot <= 0 || hot > 8<<10 {
+		t.Fatalf("OSHotBytes = %d", hot)
+	}
+	for i, d := range st.Data {
+		appPlan, err := st.AppOptLayout(i, 8<<10, hot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.App == nil {
+			if appPlan != nil {
+				t.Fatalf("%s: app plan for OS-only workload", d.Workload.Name)
+			}
+			continue
+		}
+		if appPlan == nil {
+			t.Fatalf("%s: no app plan", d.Workload.Name)
+		}
+		if err := appPlan.Layout.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// The app image lives in the application address region and starts
+		// at the cache offset where the OS hot area ends.
+		if appPlan.Layout.Base>>24 == 0 {
+			t.Fatalf("%s: app layout at kernel addresses", d.Workload.Name)
+		}
+		if got := appPlan.Layout.Base % (8 << 10); got != uint64(hot)%(8<<10) {
+			t.Fatalf("%s: app base cache offset %d, want %d", d.Workload.Name, got, hot)
+		}
+	}
+}
+
+func TestEvaluateSplitAndReserved(t *testing.T) {
+	st := smallStudy(t)
+	half := CacheConfig{Size: 4 << 10, Line: 32, Assoc: 1}
+	plan, err := st.OptS(4 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.EvaluateSplit(1, plan.Layout, nil, half, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalRefs() == 0 {
+		t.Fatal("split run produced no references")
+	}
+	small := CacheConfig{Size: 1 << 10, Line: 32, Assoc: 1}
+	main := CacheConfig{Size: 7 << 10, Line: 32, Assoc: 1}
+	resv, err := st.EvaluateReserved(1, plan.Layout, nil, plan.SelfConfFree, small, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resv.Stats.TotalRefs() != res.Stats.TotalRefs() {
+		t.Fatal("reserved run saw a different reference stream")
+	}
+}
+
+// TestCrossProfileRobustness mirrors the paper's observation that a layout
+// built from the averaged profile works for each individual workload: the
+// averaged-profile OptS layout must beat Base under every workload's trace,
+// even though no single workload's profile was used alone.
+func TestCrossProfileRobustness(t *testing.T) {
+	st := smallStudy(t)
+	cfg := CacheConfig{Size: 8 << 10, Line: 32, Assoc: 1}
+	base := st.BaseLayout()
+	avgPlan, err := st.OptS(cfg.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Data {
+		rb, err := st.Evaluate(i, base, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := st.Evaluate(i, avgPlan.Layout, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Stats.Misses[trace.DomainOS] >= rb.Stats.Misses[trace.DomainOS] {
+			t.Errorf("%s: averaged-profile layout did not reduce OS misses", st.Data[i].Workload.Name)
+		}
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a := smallStudy(t)
+	b := smallStudy(t)
+	for i := range a.Data {
+		if len(a.Data[i].Trace.Events) != len(b.Data[i].Trace.Events) {
+			t.Fatalf("%s: studies differ", a.Data[i].Workload.Name)
+		}
+	}
+	pa, err := a.OptS(8 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.OptS(8 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa.Layout.Addr {
+		if pa.Layout.Addr[i] != pb.Layout.Addr[i] {
+			t.Fatal("OptS layouts differ between identical studies")
+		}
+	}
+}
+
+func TestReExportedHelpers(t *testing.T) {
+	if DefaultKernelConfig().TotalCodeBytes != 940<<10 {
+		t.Error("DefaultKernelConfig changed")
+	}
+	if len(PaperWorkloads()) != 4 {
+		t.Error("PaperWorkloads should return the four paper workloads")
+	}
+	p := DefaultPlacementParams(8 << 10)
+	if p.CacheSize != 8<<10 || p.SelfConfFreeCutoff <= 0 {
+		t.Error("DefaultPlacementParams wrong")
+	}
+	var _ CacheStats = cache.Stats{}
+	var _ = program.NumSeedClasses
+}
+
+// TestShapesHoldAcrossKernelSeeds rebuilds the entire study on a different
+// kernel instance (different seed) and checks the headline orderings: the
+// paper's conclusions must not be an artefact of one particular synthetic
+// kernel.
+func TestShapesHoldAcrossKernelSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed study is slow")
+	}
+	for _, seed := range []int64{2025, 31415} {
+		st, err := NewStudy(StudyOptions{
+			Kernel: KernelConfig{Seed: seed, TotalCodeBytes: 400 << 10, PoolScale: 0.5},
+			Trace:  TraceOptions{OSRefs: 600_000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := CacheConfig{Size: 8 << 10, Line: 32, Assoc: 1}
+		base := st.BaseLayout()
+		ch, err := st.CHLayout()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := st.OptS(cfg.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mb, mc, mo uint64
+		for i := range st.Data {
+			rb, err := st.Evaluate(i, base, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, err := st.Evaluate(i, ch, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ro, err := st.Evaluate(i, plan.Layout, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb += rb.Stats.TotalMisses()
+			mc += rc.Stats.TotalMisses()
+			mo += ro.Stats.TotalMisses()
+			if rc.Stats.TotalMisses() >= rb.Stats.TotalMisses() {
+				t.Errorf("seed %d, %s: C-H did not beat Base", seed, st.WorkloadNames()[i])
+			}
+		}
+		if !(mo < mc && mc < mb) {
+			t.Errorf("seed %d: ordering broken: Base %d, C-H %d, OptS %d", seed, mb, mc, mo)
+		}
+	}
+}
+
+// TestStudyTraceRoundTripSimulation writes a study trace through the binary
+// codec and checks that the reloaded trace simulates to identical results —
+// the end-to-end guarantee behind `oslayout -dumptraces`.
+func TestStudyTraceRoundTripSimulation(t *testing.T) {
+	st := smallStudy(t)
+	d := st.Data[3] // Shell: OS-only
+	var buf bytes.Buffer
+	if _, err := d.Trace.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := trace.ReadTrace(&buf, st.Kernel.Prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CacheConfig{Size: 8 << 10, Line: 32, Assoc: 1}
+	base := st.BaseLayout()
+	orig, err := st.Evaluate(3, base, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := simulate.Run(reloaded, base, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != orig.Stats {
+		t.Fatalf("stats differ after round trip: %+v vs %+v", got.Stats, orig.Stats)
+	}
+}
