@@ -22,6 +22,7 @@ import (
 	"oslayout/internal/cache"
 	"oslayout/internal/expt"
 	"oslayout/internal/kernelgen"
+	"oslayout/internal/layout"
 	"oslayout/internal/mcflayout"
 	"oslayout/internal/profile"
 	"oslayout/internal/simulate"
@@ -131,6 +132,69 @@ func BenchmarkCacheSimulation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := simulate.Run(tr, base, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runManyGrid is the 8-configuration grid the batched-engine benchmarks
+// sweep: the Figure 15/16-style cache-size sweep at two line sizes, all
+// direct-mapped (the paper's headline organisation).
+var runManyGrid = []cache.Config{
+	{Size: 4 << 10, Line: 32, Assoc: 1},
+	{Size: 8 << 10, Line: 32, Assoc: 1},
+	{Size: 16 << 10, Line: 32, Assoc: 1},
+	{Size: 32 << 10, Line: 32, Assoc: 1},
+	{Size: 4 << 10, Line: 16, Assoc: 1},
+	{Size: 8 << 10, Line: 16, Assoc: 1},
+	{Size: 16 << 10, Line: 16, Assoc: 1},
+	{Size: 32 << 10, Line: 16, Assoc: 1},
+}
+
+// runManyLayout builds the layout the grid benchmarks evaluate: the OptS
+// layout from the averaged profile, the case the sweeps spend most of their
+// time in (every Figure 15-17 grid point and the entire Figure 16 cutoff
+// sweep simulate optimised candidate layouts).
+func runManyLayout(b *testing.B, env *expt.Env) *layout.Layout {
+	b.Helper()
+	if err := env.St.UseAverageProfile(); err != nil {
+		b.Fatal(err)
+	}
+	plan, err := env.St.OptimizeWithCurrentProfile(oslayout.DefaultPlacementParams(8 << 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan.Layout
+}
+
+// BenchmarkRunRepeated replays the 1M-reference Shell trace once per grid
+// configuration through simulate.Run — the pre-batching sweep strategy.
+func BenchmarkRunRepeated(b *testing.B) {
+	env := sharedEnv(b)
+	osL := runManyLayout(b, env)
+	tr := env.St.Data[3].Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range runManyGrid {
+			if _, err := simulate.Run(tr, osL, nil, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunMany drives the same 8-configuration grid through the
+// single-pass batched engine: the trace is decoded and block spans are
+// resolved once, all caches sharing a line size consume one event stream,
+// and the nested direct-mapped sizes are elided through their inclusion
+// chain. Compare ns/op against BenchmarkRunRepeated.
+func BenchmarkRunMany(b *testing.B) {
+	env := sharedEnv(b)
+	osL := runManyLayout(b, env)
+	tr := env.St.Data[3].Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.RunMany(tr, osL, nil, runManyGrid); err != nil {
 			b.Fatal(err)
 		}
 	}

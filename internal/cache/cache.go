@@ -153,6 +153,16 @@ const (
 	lineEvictedByApp
 )
 
+// maskWords is the width of the per-line utilization bitmask: one bit per
+// instruction word, so lines up to maskWords*trace.WordSize bytes (256 B)
+// can be tracked.
+const maskWords = 64
+
+// histDenseMax bounds the dense history tables: line indices beyond it fall
+// back to the overflow map. Both code images are a few MB, so in practice
+// every line is dense.
+const histDenseMax = 1 << 24
+
 // Cache is one simulated instruction cache.
 type Cache struct {
 	cfg       Config
@@ -164,14 +174,26 @@ type Cache struct {
 	// ways holds tags in LRU order per set: ways[set*assoc] is MRU.
 	ways  []uint64
 	valid []bool
-	// history maps line address to its eviction provenance for miss
-	// classification.
-	history map[uint64]uint8
+	// Eviction provenance for miss classification, dense per address
+	// region: histLo covers kernel lines (low addresses), histHi covers
+	// application lines (at trace.AppBase and above, re-based to 0), and
+	// histOv is a lazily allocated overflow map for anything else. Both
+	// images are bounded, so a map keyed by line address would be pure
+	// overhead on every miss.
+	histLo []uint8
+	histHi []uint8
+	histOv map[uint64]uint8
+	// hiBase is the first line address of the application region.
+	hiBase uint64
+	// access is the geometry-specialised access implementation picked at
+	// construction (direct-mapped vs set-associative, power-of-two vs
+	// modulo set indexing), so the hot loop pays neither branch.
+	access func(line uint64, d trace.Domain) MissClass
 	// rng is the xorshift state for random replacement.
 	rng uint64
 	// useMask, when utilization tracking is enabled, holds one bit per
 	// word of each resident line, parallel to ways.
-	useMask []uint32
+	useMask []uint64
 	// Stats accumulates access outcomes.
 	Stats Stats
 	// Util accumulates line-utilization statistics when enabled.
@@ -205,7 +227,7 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	sets := cfg.NumSets()
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		lineShift: uint(bits.TrailingZeros(uint(cfg.Line))),
 		setMask:   uint64(sets - 1),
@@ -214,9 +236,20 @@ func New(cfg Config) (*Cache, error) {
 		assoc:     cfg.Assoc,
 		ways:      make([]uint64, sets*cfg.Assoc),
 		valid:     make([]bool, sets*cfg.Assoc),
-		history:   make(map[uint64]uint8, 1<<12),
 		rng:       0x9E3779B97F4A7C15,
-	}, nil
+	}
+	c.hiBase = uint64(trace.AppBase) >> c.lineShift
+	switch {
+	case cfg.Assoc == 1 && c.pow2:
+		c.access = c.accessDMPow2
+	case cfg.Assoc == 1:
+		c.access = c.accessDMMod
+	case c.pow2:
+		c.access = c.accessAssocPow2
+	default:
+		c.access = c.accessAssocMod
+	}
+	return c, nil
 }
 
 // MustNew is New for configurations known valid at compile time.
@@ -232,9 +265,16 @@ func MustNew(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // EnableUtilization turns on line-utilization tracking (a per-word use
-// bitmask per resident line). Must be called before any access.
-func (c *Cache) EnableUtilization() {
-	c.useMask = make([]uint32, len(c.ways))
+// bitmask per resident line). Must be called before any access. It returns
+// an error when the line's word count exceeds the bitmask width — tracking
+// such a line would silently drop use bits.
+func (c *Cache) EnableUtilization() error {
+	if w := c.lineWords(); w > maskWords {
+		return fmt.Errorf("cache: line size %dB has %d words, exceeding the %d-word utilization mask",
+			c.cfg.Line, w, maskWords)
+	}
+	c.useMask = make([]uint64, len(c.ways))
+	return nil
 }
 
 // lineWords returns the number of instruction words per line.
@@ -257,9 +297,13 @@ func (c *Cache) MarkWords(line uint64, from, to int) {
 	if !c.valid[base] || c.ways[base] != line {
 		return
 	}
-	for w := from; w <= to && w < 32; w++ {
-		c.useMask[base] |= 1 << uint(w)
+	if to >= maskWords {
+		to = maskWords - 1
 	}
+	if from > to || from < 0 {
+		return
+	}
+	c.useMask[base] |= (^uint64(0) >> (63 - uint(to))) &^ (1<<uint(from) - 1)
 }
 
 // LineOf returns the line address containing byte address a.
@@ -270,18 +314,81 @@ func (c *Cache) LineOf(a uint64) uint64 { return a >> c.lineShift }
 // Reference counting is the caller's concern (a block execution references
 // each of its words once but touches each covered line once).
 func (c *Cache) AccessLine(line uint64, d trace.Domain) MissClass {
-	var set int
-	if c.pow2 {
-		set = int(line & c.setMask)
-	} else {
-		set = int(line % c.numSets)
+	return c.access(line, d)
+}
+
+// AccessFunc returns the geometry-specialised access implementation, the
+// same function AccessLine dispatches to. Batch drivers (simulate.RunMany)
+// hoist it out of their inner loops to skip the method dispatch.
+func (c *Cache) AccessFunc() func(line uint64, d trace.Domain) MissClass {
+	return c.access
+}
+
+// Sets returns the number of cache sets.
+func (c *Cache) Sets() int { return int(c.numSets) }
+
+// DirectMappedPow2 reports whether the cache is direct-mapped with a
+// power-of-two set count. Two such caches with the same line size and
+// nested set counts satisfy set-refinement inclusion: the bigger cache's
+// sets partition the smaller one's, so the line most recently accessed in a
+// small set is also the most recent in its refined set, and a hit in the
+// smaller cache guarantees a hit in the bigger one. Since a direct-mapped
+// hit changes no state and no statistics, batch drivers exploit this to
+// skip the bigger caches outright.
+func (c *Cache) DirectMappedPow2() bool { return c.assoc == 1 && c.pow2 }
+
+// The four access specialisations: set-index computation (power-of-two mask
+// vs modulo) is resolved at construction, and direct-mapped caches — the
+// paper's headline configuration — skip the LRU way search and recency
+// shifting entirely.
+
+func (c *Cache) accessDMPow2(line uint64, d trace.Domain) MissClass {
+	return c.accessDM(line, int(line&c.setMask), d)
+}
+
+func (c *Cache) accessDMMod(line uint64, d trace.Domain) MissClass {
+	return c.accessDM(line, int(line%c.numSets), d)
+}
+
+func (c *Cache) accessAssocPow2(line uint64, d trace.Domain) MissClass {
+	return c.accessAssoc(line, int(line&c.setMask), d)
+}
+
+func (c *Cache) accessAssocMod(line uint64, d trace.Domain) MissClass {
+	return c.accessAssoc(line, int(line%c.numSets), d)
+}
+
+// accessDM is the direct-mapped fast path: one tag compare, no way shifting.
+func (c *Cache) accessDM(line uint64, set int, d trace.Domain) MissClass {
+	if c.valid[set] && c.ways[set] == line {
+		return Hit
 	}
+	class := c.classifyMiss(line, d)
+	c.Stats.Misses[d]++
+	if c.valid[set] {
+		c.recordEviction(c.ways[set], set, d)
+	}
+	c.ways[set] = line
+	c.valid[set] = true
+	if c.useMask != nil {
+		c.useMask[set] = 0
+	}
+	if class == ColdMiss {
+		c.markSeenCold(line, d)
+	}
+	return class
+}
+
+// accessAssoc handles set-associative caches: ways are kept in LRU order
+// per set, so a hit shifts the recency order and a miss victimises the last
+// way (or a random one under random replacement).
+func (c *Cache) accessAssoc(line uint64, set int, d trace.Domain) MissClass {
 	base := set * c.assoc
 	// Search ways in LRU-order slice.
 	for i := 0; i < c.assoc; i++ {
 		if c.valid[base+i] && c.ways[base+i] == line {
 			// Move to front (MRU).
-			var mask uint32
+			var mask uint64
 			if c.useMask != nil {
 				mask = c.useMask[base+i]
 			}
@@ -301,34 +408,13 @@ func (c *Cache) AccessLine(line uint64, d trace.Domain) MissClass {
 		}
 	}
 	// Miss. Classify before filling.
-	var class MissClass
-	switch c.history[line] {
-	case lineUnseen:
-		class = ColdMiss
-		c.Stats.Cold[d]++
-	case lineEvictedByOS:
-		if d == trace.DomainOS {
-			class = SelfMiss
-			c.Stats.Self[d]++
-		} else {
-			class = CrossMiss
-			c.Stats.Cross[d]++
-		}
-	case lineEvictedByApp:
-		if d == trace.DomainApp {
-			class = SelfMiss
-			c.Stats.Self[d]++
-		} else {
-			class = CrossMiss
-			c.Stats.Cross[d]++
-		}
-	}
+	class := c.classifyMiss(line, d)
 	c.Stats.Misses[d]++
 	// Pick the victim way: LRU keeps ways in recency order so the last way
 	// is the victim; random replacement picks any way (preferring invalid
 	// ones so warm-up matches LRU).
 	victim := base + c.assoc - 1
-	if c.cfg.Policy == RandomReplacement && c.assoc > 1 {
+	if c.cfg.Policy == RandomReplacement {
 		victim = base
 		for i := 0; i < c.assoc; i++ {
 			if !c.valid[base+i] {
@@ -339,16 +425,7 @@ func (c *Cache) AccessLine(line uint64, d trace.Domain) MissClass {
 		}
 	}
 	if c.valid[victim] {
-		ev := lineEvictedByOS
-		if d == trace.DomainApp {
-			ev = lineEvictedByApp
-		}
-		c.history[c.ways[victim]] = ev
-		if c.useMask != nil {
-			c.Util.Evictions++
-			c.Util.WordsUsed += uint64(popcount32(c.useMask[victim]))
-			c.Util.WordsTotal += uint64(c.lineWords())
-		}
+		c.recordEviction(c.ways[victim], victim, d)
 	}
 	// Shift the recency order down to the victim slot and install the new
 	// line as MRU (harmless bookkeeping under random replacement).
@@ -364,21 +441,117 @@ func (c *Cache) AccessLine(line uint64, d trace.Domain) MissClass {
 	if c.useMask != nil {
 		c.useMask[base] = 0
 	}
-	if _, seen := c.history[line]; !seen {
-		// Mark as seen without fabricating an evictor: a line that is
-		// resident and later evicted gets its evictor recorded then. Use
-		// the accessing domain as a neutral placeholder — it is only read
-		// after an eviction overwrites it, except never.
-		c.history[line] = lineEvictedByOS
-		if d == trace.DomainApp {
-			c.history[line] = lineEvictedByApp
-		}
+	if class == ColdMiss {
+		c.markSeenCold(line, d)
 	}
 	return class
 }
 
-// popcount32 counts set bits.
-func popcount32(x uint32) int { return bits.OnesCount32(x) }
+// classifyMiss reads the line's eviction provenance and accumulates the
+// matching per-class miss counter.
+func (c *Cache) classifyMiss(line uint64, d trace.Domain) MissClass {
+	switch c.histGet(line) {
+	case lineUnseen:
+		c.Stats.Cold[d]++
+		return ColdMiss
+	case lineEvictedByOS:
+		if d == trace.DomainOS {
+			c.Stats.Self[d]++
+			return SelfMiss
+		}
+		c.Stats.Cross[d]++
+		return CrossMiss
+	default: // lineEvictedByApp
+		if d == trace.DomainApp {
+			c.Stats.Self[d]++
+			return SelfMiss
+		}
+		c.Stats.Cross[d]++
+		return CrossMiss
+	}
+}
+
+// recordEviction stores the evictor's domain for the displaced line in slot
+// and accumulates utilization statistics when tracking is enabled.
+func (c *Cache) recordEviction(victimLine uint64, slot int, d trace.Domain) {
+	ev := lineEvictedByOS
+	if d == trace.DomainApp {
+		ev = lineEvictedByApp
+	}
+	c.histSet(victimLine, ev)
+	if c.useMask != nil {
+		c.Util.Evictions++
+		c.Util.WordsUsed += uint64(bits.OnesCount64(c.useMask[slot]))
+		c.Util.WordsTotal += uint64(c.lineWords())
+	}
+}
+
+// markSeenCold marks a freshly filled line as seen without fabricating an
+// evictor: a line that is resident and later evicted gets its evictor
+// recorded then. The accessing domain is a neutral placeholder — it is only
+// read after an eviction overwrites it, except never. Callers invoke this
+// only on cold misses: the classification already proved the entry is
+// lineUnseen (the victim of the fill is a different line, so the entry
+// cannot have changed in between), which spares a second history lookup on
+// every conflict miss.
+func (c *Cache) markSeenCold(line uint64, d trace.Domain) {
+	ev := lineEvictedByOS
+	if d == trace.DomainApp {
+		ev = lineEvictedByApp
+	}
+	c.histSet(line, ev)
+}
+
+// histGet returns the eviction provenance of a line, lineUnseen by default.
+func (c *Cache) histGet(line uint64) uint8 {
+	if line < c.hiBase {
+		if line < uint64(len(c.histLo)) {
+			return c.histLo[line]
+		}
+		return lineUnseen
+	}
+	if idx := line - c.hiBase; idx < histDenseMax {
+		if idx < uint64(len(c.histHi)) {
+			return c.histHi[idx]
+		}
+		return lineUnseen
+	}
+	return c.histOv[line]
+}
+
+// histSet stores the eviction provenance of a line, growing the dense
+// region tables on demand.
+func (c *Cache) histSet(line uint64, v uint8) {
+	if line < c.hiBase {
+		if line >= uint64(len(c.histLo)) {
+			c.histLo = growHist(c.histLo, line)
+		}
+		c.histLo[line] = v
+		return
+	}
+	if idx := line - c.hiBase; idx < histDenseMax {
+		if idx >= uint64(len(c.histHi)) {
+			c.histHi = growHist(c.histHi, idx)
+		}
+		c.histHi[idx] = v
+		return
+	}
+	if c.histOv == nil {
+		c.histOv = make(map[uint64]uint8)
+	}
+	c.histOv[line] = v
+}
+
+// growHist doubles a dense history table until it covers idx.
+func growHist(tab []uint8, idx uint64) []uint8 {
+	n := uint64(1 << 12)
+	for n <= idx {
+		n *= 2
+	}
+	grown := make([]uint8, n)
+	copy(grown, tab)
+	return grown
+}
 
 // nextRand steps the xorshift64* stream.
 func (c *Cache) nextRand() uint64 {
@@ -400,6 +573,8 @@ func (c *Cache) Flush() {
 // Reset empties the cache and clears history and statistics.
 func (c *Cache) Reset() {
 	c.Flush()
-	c.history = make(map[uint64]uint8, 1<<12)
+	clear(c.histLo)
+	clear(c.histHi)
+	c.histOv = nil
 	c.Stats = Stats{}
 }

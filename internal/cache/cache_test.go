@@ -290,6 +290,100 @@ func TestRandomReplacementUsuallyWorseThanLRU(t *testing.T) {
 	}
 }
 
+// TestMarkWordsWideLine is the regression test for the line-utilization
+// truncation bug: the old []uint32 mask silently dropped use bits for words
+// 32 and up, so lines over 128B under-reported utilization.
+func TestMarkWordsWideLine(t *testing.T) {
+	c := MustNew(Config{Size: 4 << 10, Line: 256, Assoc: 1}) // 64 words per line
+	if err := c.EnableUtilization(); err != nil {
+		t.Fatal(err)
+	}
+	c.AccessLine(0, trace.DomainOS)
+	c.MarkWords(0, 32, 63) // entirely in the upper half of the mask
+	c.AccessLine(16, trace.DomainOS)
+	c.MarkWords(16, 0, 63) // full line; 4KB/256B DM has 16 sets, so set 0 again
+	if c.Util.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Util.Evictions)
+	}
+	if c.Util.WordsUsed != 32 || c.Util.WordsTotal != 64 {
+		t.Fatalf("words used/total = %d/%d, want 32/64 (upper-half bits dropped?)",
+			c.Util.WordsUsed, c.Util.WordsTotal)
+	}
+	// Evict the full-marked line too and check all 64 bits survived.
+	c.AccessLine(32, trace.DomainOS)
+	if c.Util.WordsUsed != 32+64 {
+		t.Fatalf("words used = %d, want 96", c.Util.WordsUsed)
+	}
+}
+
+func TestEnableUtilizationRejectsOverwideLines(t *testing.T) {
+	c := MustNew(Config{Size: 8 << 10, Line: 512, Assoc: 1}) // 128 words > 64-bit mask
+	if err := c.EnableUtilization(); err == nil {
+		t.Fatal("512B line accepted for utilization tracking; mask would truncate")
+	}
+	c = MustNew(Config{Size: 8 << 10, Line: 256, Assoc: 1}) // exactly 64 words: fine
+	if err := c.EnableUtilization(); err != nil {
+		t.Fatalf("256B line rejected: %v", err)
+	}
+}
+
+// TestHistoryRegions exercises the dense eviction-provenance tables across
+// both address regions (kernel at low addresses, application at AppBase)
+// and the overflow map beyond them.
+func TestHistoryRegions(t *testing.T) {
+	c := MustNew(Config{Size: 64, Line: 32, Assoc: 1}) // 2 sets: lines conflict mod 2
+	appLine := uint64(trace.AppBase) >> 5              // first app-region line, set 0
+	farLine := appLine + histDenseMax + 4              // beyond the dense region, set 0
+	c.AccessLine(0, trace.DomainOS)                    // cold
+	c.AccessLine(appLine, trace.DomainApp)             // cold, evicts OS line 0
+	if got := c.AccessLine(0, trace.DomainOS); got != CrossMiss {
+		t.Fatalf("kernel line evicted by app: got %v, want cross", got)
+	}
+	if got := c.AccessLine(appLine, trace.DomainApp); got != CrossMiss {
+		t.Fatalf("app line evicted by OS: got %v, want cross", got)
+	}
+	c.AccessLine(farLine, trace.DomainOS) // cold; provenance lands in the overflow map
+	if got := c.AccessLine(farLine, trace.DomainOS); got != Hit {
+		t.Fatalf("far line re-access = %v, want hit", got)
+	}
+	c.AccessLine(appLine, trace.DomainApp) // evicts the far line
+	if got := c.AccessLine(farLine, trace.DomainOS); got != CrossMiss {
+		t.Fatalf("far line evicted by app: got %v, want cross (overflow map lost it?)", got)
+	}
+	c.Reset()
+	if got := c.AccessLine(0, trace.DomainOS); got != ColdMiss {
+		t.Fatalf("after reset, got %v, want cold", got)
+	}
+	if got := c.AccessLine(appLine, trace.DomainApp); got != ColdMiss {
+		t.Fatalf("after reset, app line got %v, want cold", got)
+	}
+}
+
+// TestAccessFuncMatchesAccessLine checks the hoisted access function is the
+// same implementation AccessLine dispatches to, for every geometry.
+func TestAccessFuncMatchesAccessLine(t *testing.T) {
+	for _, cfg := range []Config{
+		{Size: 1 << 10, Line: 32, Assoc: 1},
+		{Size: 1536, Line: 32, Assoc: 1},
+		{Size: 1 << 10, Line: 32, Assoc: 4},
+		{Size: 1536, Line: 32, Assoc: 2},
+	} {
+		a, b := MustNew(cfg), MustNew(cfg)
+		access := b.AccessFunc()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 3000; i++ {
+			line := uint64(rng.Intn(100))
+			d := trace.Domain(rng.Intn(2))
+			if got, want := access(line, d), a.AccessLine(line, d); got != want {
+				t.Fatalf("%v: access %d/%v = %v, AccessLine = %v", cfg, line, d, got, want)
+			}
+		}
+		if a.Stats != b.Stats {
+			t.Fatalf("%v: stats diverged: %+v vs %+v", cfg, a.Stats, b.Stats)
+		}
+	}
+}
+
 func TestPolicyString(t *testing.T) {
 	if LRU.String() != "LRU" || RandomReplacement.String() != "random" {
 		t.Fatal("policy strings wrong")

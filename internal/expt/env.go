@@ -149,6 +149,14 @@ func (e *Env) Eval(i int, osL, appL *layout.Layout, cfg cache.Config) (*simulate
 	return e.St.Evaluate(i, osL, appL, cfg)
 }
 
+// EvalMany simulates workload i under the given layouts across many cache
+// organisations in one pass over the trace (simulate.RunMany). Sweeps batch
+// their grid points through this so parallelism (parEach) is across
+// trace-sharing batches rather than redundant replays.
+func (e *Env) EvalMany(i int, osL, appL *layout.Layout, cfgs []cache.Config) ([]*simulate.Result, error) {
+	return e.St.EvaluateMany(i, osL, appL, cfgs)
+}
+
 // Workloads returns the workload names.
 func (e *Env) Workloads() []string { return e.St.WorkloadNames() }
 

@@ -388,19 +388,21 @@ func (e *Env) RunReplacementPolicy() (*ReplacementPolicy, error) {
 		return nil, err
 	}
 	r := &ReplacementPolicy{Workloads: e.Workloads()}
-	for i := range e.St.Data {
-		var row [4]float64
-		for k, v := range []struct {
-			l   *layout.Layout
-			cfg cache.Config
-		}{{e.Base(), lru}, {e.Base(), rnd}, {plan.Layout, lru}, {plan.Layout, rnd}} {
-			res, err := e.Eval(i, v.l, nil, v.cfg)
-			if err != nil {
-				return nil, err
-			}
-			row[k] = res.Stats.MissRate()
+	r.Rates = make([][4]float64, len(e.St.Data))
+	// Both policies share each (trace, layout) pair: batch them through the
+	// single-pass engine, in parallel over workload × layout.
+	layouts := []*layout.Layout{e.Base(), plan.Layout}
+	if err := parEach(len(e.St.Data)*2, func(j int) error {
+		i, li := j/2, j%2
+		ress, err := e.EvalMany(i, layouts[li], nil, []cache.Config{lru, rnd})
+		if err != nil {
+			return err
 		}
-		r.Rates = append(r.Rates, row)
+		r.Rates[i][2*li] = ress[0].Stats.MissRate()
+		r.Rates[i][2*li+1] = ress[1].Stats.MissRate()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return r, nil
 }

@@ -1,0 +1,72 @@
+package expt
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"oslayout/internal/cache"
+)
+
+// TestBatchedSweepParallelDeterminism sweeps a multi-configuration grid
+// through the batched engine under parEach with GOMAXPROCS > 1, twice, and
+// asserts the two passes are identical — the determinism contract the sweep
+// experiments rely on when they fan trace-sharing batches across cores.
+// Running the package under -race additionally checks the concurrent
+// RunMany calls share the trace, layout and program read-only.
+func TestBatchedSweepParallelDeterminism(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		old := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+	e, err := NewEnv(Options{OSRefs: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []cache.Config{
+		{Size: 4 << 10, Line: 16, Assoc: 1},
+		{Size: 4 << 10, Line: 32, Assoc: 1},
+		{Size: 8 << 10, Line: 32, Assoc: 1},
+		{Size: 8 << 10, Line: 32, Assoc: 2},
+		{Size: 8 << 10, Line: 64, Assoc: 1},
+		{Size: 16 << 10, Line: 32, Assoc: 4, Policy: cache.RandomReplacement},
+	}
+	base := e.Base()
+	nw := len(e.St.Data)
+	// Two tasks per workload so the same trace and layout are replayed by
+	// concurrent workers, as in the real sweeps.
+	const reps = 2
+	sweep := func() [][]cache.Stats {
+		out := make([][]cache.Stats, nw*reps)
+		err := parEach(nw*reps, func(j int) error {
+			ress, err := e.EvalMany(j%nw, base, nil, grid)
+			if err != nil {
+				return err
+			}
+			stats := make([]cache.Stats, len(ress))
+			for k, r := range ress {
+				stats[k] = r.Stats
+			}
+			out[j] = stats
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := sweep(), sweep()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two parallel batched sweeps over the same grid disagree")
+	}
+	for j := 0; j < nw; j++ {
+		if !reflect.DeepEqual(a[j], a[j+nw]) {
+			t.Fatalf("workload %d: concurrent replays of the same batch disagree", j)
+		}
+	}
+	for k := range grid {
+		if a[0][k].TotalRefs() == 0 || a[0][k].TotalMisses() == 0 {
+			t.Fatalf("config %v: degenerate sweep result %+v", grid[k], a[0][k])
+		}
+	}
+}

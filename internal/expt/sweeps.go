@@ -53,14 +53,38 @@ func (e *Env) RunFigure15() (*Figure15, error) {
 	for si := range f.Rates {
 		f.Rates[si] = make([][3]float64, nw)
 	}
-	err = parEach(len(f.Sizes)*nw*3, func(j int) error {
-		si, wi, li := j/(nw*3), (j/3)%nw, j%3
-		cfg := cache.Config{Size: f.Sizes[si], Line: 32, Assoc: 1}
-		res, err := e.Eval(wi, layoutsBySize[si][li], nil, cfg)
+	// Batch grid points sharing a (trace, layout) pair through the
+	// single-pass engine: Base and C-H are size-independent, so all cache
+	// sizes ride one trace replay; OptS is rebuilt per size, so each size
+	// is its own (single-config) batch.
+	type task struct {
+		wi, li int
+		sis    []int
+	}
+	allSizes := make([]int, len(f.Sizes))
+	for si := range f.Sizes {
+		allSizes[si] = si
+	}
+	var tasks []task
+	for wi := 0; wi < nw; wi++ {
+		tasks = append(tasks, task{wi, 0, allSizes}, task{wi, 1, allSizes})
+		for si := range f.Sizes {
+			tasks = append(tasks, task{wi, 2, []int{si}})
+		}
+	}
+	err = parEach(len(tasks), func(j int) error {
+		tk := tasks[j]
+		cfgs := make([]cache.Config, len(tk.sis))
+		for k, si := range tk.sis {
+			cfgs[k] = cache.Config{Size: f.Sizes[si], Line: 32, Assoc: 1}
+		}
+		ress, err := e.EvalMany(tk.wi, layoutsBySize[tk.sis[0]][tk.li], nil, cfgs)
 		if err != nil {
 			return err
 		}
-		f.Rates[si][wi][li] = res.Stats.MissRate()
+		for k, si := range tk.sis {
+			f.Rates[si][tk.wi][tk.li] = ress[k].Stats.MissRate()
+		}
 		return nil
 	})
 	if err != nil {
@@ -157,14 +181,20 @@ func (e *Env) RunFigure16() (*Figure16, error) {
 			f.Normalised[si][wi] = make([]float64, nc)
 		}
 	}
-	if err := parEach(len(f.Sizes)*nw, func(j int) error {
-		si, wi := j/nw, j%nw
-		cfg := cache.Config{Size: f.Sizes[si], Line: 32, Assoc: 1}
-		res, err := e.Eval(wi, base, nil, cfg)
+	// All Base reference runs share the trace and layout — one batched pass
+	// per workload covers every cache size.
+	baseCfgs := make([]cache.Config, len(f.Sizes))
+	for si, size := range f.Sizes {
+		baseCfgs[si] = cache.Config{Size: size, Line: 32, Assoc: 1}
+	}
+	if err := parEach(nw, func(wi int) error {
+		ress, err := e.EvalMany(wi, base, nil, baseCfgs)
 		if err != nil {
 			return err
 		}
-		baseTotals[si][wi] = res.Stats.TotalMisses()
+		for si := range f.Sizes {
+			baseTotals[si][wi] = ress[si].Stats.TotalMisses()
+		}
 		return nil
 	}); err != nil {
 		return nil, err
@@ -243,33 +273,41 @@ func (e *Env) RunFigure17() (*Figure17, error) {
 		return nil, err
 	}
 	layouts := []*layout.Layout{e.Base(), ch, plan.Layout}
-	eval := func(cfg cache.Config) ([][3]float64, error) {
-		nw := len(e.St.Data)
-		rows := make([][3]float64, nw)
-		err := parEach(nw*3, func(j int) error {
-			wi, li := j/3, j%3
-			res, err := e.Eval(wi, layouts[li], nil, cfg)
-			if err != nil {
-				return err
-			}
-			rows[wi][li] = res.Stats.MissRate()
-			return nil
-		})
-		return rows, err
-	}
+	// The whole figure is one 8-point grid over a fixed (trace, layout)
+	// pair: the line-size sweep plus the associativity sweep. Batch all of
+	// it through the single-pass engine, one task per (workload, layout).
+	var cfgs []cache.Config
 	for _, line := range f.Lines {
-		rows, err := eval(cache.Config{Size: 8 << 10, Line: line, Assoc: 1})
-		if err != nil {
-			return nil, err
-		}
-		f.LineRates = append(f.LineRates, rows)
+		cfgs = append(cfgs, cache.Config{Size: 8 << 10, Line: line, Assoc: 1})
 	}
 	for _, assoc := range f.Assocs {
-		rows, err := eval(cache.Config{Size: 8 << 10, Line: 32, Assoc: assoc})
+		cfgs = append(cfgs, cache.Config{Size: 8 << 10, Line: 32, Assoc: assoc})
+	}
+	nw := len(e.St.Data)
+	f.LineRates = make([][][3]float64, len(f.Lines))
+	for li := range f.LineRates {
+		f.LineRates[li] = make([][3]float64, nw)
+	}
+	f.AssocRates = make([][][3]float64, len(f.Assocs))
+	for ai := range f.AssocRates {
+		f.AssocRates[ai] = make([][3]float64, nw)
+	}
+	err = parEach(nw*3, func(j int) error {
+		wi, k := j/3, j%3
+		ress, err := e.EvalMany(wi, layouts[k], nil, cfgs)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.AssocRates = append(f.AssocRates, rows)
+		for li := range f.Lines {
+			f.LineRates[li][wi][k] = ress[li].Stats.MissRate()
+		}
+		for ai := range f.Assocs {
+			f.AssocRates[ai][wi][k] = ress[len(f.Lines)+ai].Stats.MissRate()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }

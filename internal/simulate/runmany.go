@@ -1,0 +1,212 @@
+package simulate
+
+import (
+	"math/bits"
+	"sort"
+
+	"oslayout/internal/cache"
+	"oslayout/internal/layout"
+	"oslayout/internal/program"
+	"oslayout/internal/trace"
+)
+
+// lineSpan is the precomputed [First, Last] line-address range one block's
+// execution touches under a given line size.
+type lineSpan struct {
+	First, Last uint64
+}
+
+// runner pairs one cache's hoisted access function with its result
+// accumulators.
+type runner struct {
+	access func(uint64, trace.Domain) cache.MissClass
+	res    *Result
+}
+
+// RunMany is the single-pass multi-configuration engine: where repeated Run
+// calls replay the trace once per cache organisation — re-decoding every
+// event and re-resolving every block address each time — RunMany decodes
+// the trace and resolves each block's (addr, size) once, precomputes a
+// per-block line-span table per distinct line size, and drives all caches
+// sharing that line size from the same event stream (in the spirit of
+// Hill & Smith's all-associativity and the Cheetah-style single-pass
+// simulators cited by the paper's successors). It returns one Result per
+// config in order, each bit-identical to the one the equivalent Run call
+// produces. appL may be nil when the trace has no application.
+func RunMany(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config) ([]*Result, error) {
+	if err := checkLayouts(t, osL, appL); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(cfgs))
+	caches := make([]*cache.Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		c, err := cache.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+		results[i] = newResult(t, osL)
+		results[i].Config = cfg
+	}
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+
+	stream, refsTotal := resolveEvents(t)
+
+	// Group configs by line size: caches sharing a line size see the exact
+	// same line-access sequence, so they share one span table and one pass
+	// over the resolved stream.
+	byLine := make(map[int][]int)
+	var lineSizes []int
+	for i, cfg := range cfgs {
+		if _, ok := byLine[cfg.Line]; !ok {
+			lineSizes = append(lineSizes, cfg.Line)
+		}
+		byLine[cfg.Line] = append(byLine[cfg.Line], i)
+	}
+	for _, ls := range lineSizes {
+		spans := spanTables(t, osL, appL, ls)
+		// Within a group, direct-mapped power-of-two caches form an
+		// inclusion chain when ordered by ascending set count: a hit in a
+		// smaller member guarantees a hit in every larger one
+		// (set-refinement), and a direct-mapped hit is a no-op, so the
+		// larger members can be skipped outright. Other geometries go in
+		// rest and always run.
+		var chainIdx, restIdx []int
+		for _, i := range byLine[ls] {
+			if caches[i].DirectMappedPow2() {
+				chainIdx = append(chainIdx, i)
+			} else {
+				restIdx = append(restIdx, i)
+			}
+		}
+		sort.SliceStable(chainIdx, func(a, b int) bool {
+			return caches[chainIdx[a]].Sets() < caches[chainIdx[b]].Sets()
+		})
+		mkRunners := func(idx []int) []runner {
+			rs := make([]runner, len(idx))
+			for k, i := range idx {
+				rs[k] = runner{caches[i].AccessFunc(), results[i]}
+			}
+			return rs
+		}
+		driveGroup(stream, spans, mkRunners(chainIdx), mkRunners(restIdx))
+	}
+
+	for i := range results {
+		// Per-domain references are a property of the trace alone, so they
+		// are summed once during resolution and stamped on every cache.
+		caches[i].Stats.Refs = refsTotal
+		results[i].Stats = caches[i].Stats
+	}
+	return results, nil
+}
+
+// eventDomainShift packs a resolved block event as domain<<31 | block.
+const eventDomainShift = 31
+
+// resolveEvents decodes the trace once: markers are dropped, and each block
+// event is packed into a uint32. It also returns the total per-domain
+// instruction-word references of the stream.
+func resolveEvents(t *trace.Trace) ([]uint32, [trace.NumDomains]uint64) {
+	var refsTab [trace.NumDomains][]uint64
+	refsTab[trace.DomainOS] = refsOf(t.OS)
+	if t.App != nil {
+		refsTab[trace.DomainApp] = refsOf(t.App)
+	}
+	out := make([]uint32, 0, len(t.Events))
+	var refs [trace.NumDomains]uint64
+	for _, e := range t.Events {
+		if !e.IsBlock() {
+			continue
+		}
+		d := e.Domain()
+		b := e.Block()
+		refs[d] += refsTab[d][b]
+		out = append(out, uint32(d)<<eventDomainShift|uint32(b))
+	}
+	return out, refs
+}
+
+// refsOf precomputes per-block instruction-word reference counts.
+func refsOf(p *program.Program) []uint64 {
+	tab := make([]uint64, p.NumBlocks())
+	for b := range tab {
+		tab[b] = trace.RefsOf(p.Block(program.BlockID(b)).Size)
+	}
+	return tab
+}
+
+// spanTables precomputes, for one line size, the line-address range each
+// block's execution covers under the given layouts.
+func spanTables(t *trace.Trace, osL, appL *layout.Layout, lineSize int) [trace.NumDomains][]lineSpan {
+	shift := uint(bits.TrailingZeros(uint(lineSize)))
+	var tabs [trace.NumDomains][]lineSpan
+	tabs[trace.DomainOS] = spansOf(osL, shift)
+	if t.App != nil {
+		tabs[trace.DomainApp] = spansOf(appL, shift)
+	}
+	return tabs
+}
+
+func spansOf(l *layout.Layout, shift uint) []lineSpan {
+	spans := make([]lineSpan, len(l.Addr))
+	for b, addr := range l.Addr {
+		size := l.Prog.Block(program.BlockID(b)).Size
+		spans[b] = lineSpan{addr >> shift, (addr + uint64(size) - 1) >> shift}
+	}
+	return spans
+}
+
+// driveGroup replays the resolved stream through all caches of one
+// line-size group. Two access-elision rules keep the replay cheap while
+// staying bit-identical to individual runs:
+//
+//  1. Consecutive accesses to the same line are skipped for the whole
+//     group: after any access the line sits at the MRU position of its set
+//     in every cache, so an immediate re-access is a guaranteed hit with
+//     no state or statistics change (references are accounted separately).
+//  2. chain holds the direct-mapped power-of-two caches in ascending set
+//     order; a hit in one member implies a hit in every later (bigger)
+//     member by set-refinement inclusion, and a direct-mapped hit touches
+//     nothing, so the rest of the chain is skipped.
+func driveGroup(stream []uint32, spans [trace.NumDomains][]lineSpan, chain, rest []runner) {
+	prev := ^uint64(0)
+	for _, ev := range stream {
+		d := trace.Domain(ev >> eventDomainShift)
+		b := ev & (1<<eventDomainShift - 1)
+		sp := spans[d][b]
+		for line := sp.First; line <= sp.Last; line++ {
+			if line == prev {
+				continue
+			}
+			prev = line
+			for k := range chain {
+				r := &chain[k]
+				cl := r.access(line, d)
+				if cl == cache.Hit {
+					break
+				}
+				recordMiss(r.res, cl, d, b)
+			}
+			for k := range rest {
+				r := &rest[k]
+				if cl := r.access(line, d); cl != cache.Hit {
+					recordMiss(r.res, cl, d, b)
+				}
+			}
+		}
+	}
+}
+
+// recordMiss accumulates one classified miss into the per-block arrays.
+func recordMiss(res *Result, cl cache.MissClass, d trace.Domain, b uint32) {
+	res.BlockMisses[d][b]++
+	switch cl {
+	case cache.SelfMiss:
+		res.BlockSelf[d][b]++
+	case cache.CrossMiss:
+		res.BlockCross[d][b]++
+	}
+}

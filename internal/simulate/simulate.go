@@ -33,7 +33,7 @@ type Result struct {
 // region from the kernel (which sits at low addresses, as in the paper where
 // "virtual addresses for operating system code are equal to their physical
 // addresses").
-const AppBase = 1 << 24
+const AppBase = trace.AppBase
 
 // Run replays the trace through one cache under the given layouts. appL may
 // be nil when the trace has no application.
@@ -61,7 +61,9 @@ func RunUtil(t *trace.Trace, osL, appL *layout.Layout, cfg cache.Config) (*Resul
 	if err != nil {
 		return nil, cache.UtilStats{}, err
 	}
-	c.EnableUtilization()
+	if err := c.EnableUtilization(); err != nil {
+		return nil, cache.UtilStats{}, err
+	}
 	route := func(trace.Domain, uint64) *cache.Cache { return c }
 	res, err := run(t, osL, appL, route, nil, true)
 	if err != nil {
@@ -143,22 +145,10 @@ func run(t *trace.Trace, osL, appL *layout.Layout,
 	route func(trace.Domain, uint64) *cache.Cache,
 	pre func(trace.Domain, program.BlockID), util bool) (*Result, error) {
 
-	if osL.Prog != t.OS {
-		return nil, fmt.Errorf("simulate: OS layout is for program %q, trace for %q", osL.Prog.Name, t.OS.Name)
+	if err := checkLayouts(t, osL, appL); err != nil {
+		return nil, err
 	}
-	if t.App != nil && appL == nil {
-		return nil, fmt.Errorf("simulate: trace has application references but no application layout given")
-	}
-
-	res := &Result{LayoutName: osL.Name}
-	res.BlockMisses[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
-	res.BlockSelf[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
-	res.BlockCross[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
-	if t.App != nil {
-		res.BlockMisses[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
-		res.BlockSelf[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
-		res.BlockCross[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
-	}
+	res := newResult(t, osL)
 
 	for _, e := range t.Events {
 		if !e.IsBlock() {
@@ -209,6 +199,32 @@ func run(t *trace.Trace, osL, appL *layout.Layout,
 		}
 	}
 	return res, nil
+}
+
+// checkLayouts validates that the layouts match the trace's programs.
+func checkLayouts(t *trace.Trace, osL, appL *layout.Layout) error {
+	if osL.Prog != t.OS {
+		return fmt.Errorf("simulate: OS layout is for program %q, trace for %q", osL.Prog.Name, t.OS.Name)
+	}
+	if t.App != nil && appL == nil {
+		return fmt.Errorf("simulate: trace has application references but no application layout given")
+	}
+	return nil
+}
+
+// newResult allocates a Result with per-block miss arrays sized to the
+// trace's programs.
+func newResult(t *trace.Trace, osL *layout.Layout) *Result {
+	res := &Result{LayoutName: osL.Name}
+	res.BlockMisses[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
+	res.BlockSelf[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
+	res.BlockCross[trace.DomainOS] = make([]uint64, t.OS.NumBlocks())
+	if t.App != nil {
+		res.BlockMisses[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
+		res.BlockSelf[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
+		res.BlockCross[trace.DomainApp] = make([]uint64, t.App.NumBlocks())
+	}
+	return res
 }
 
 // MissHistogram aggregates per-block misses into address-range buckets of

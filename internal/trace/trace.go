@@ -35,6 +35,13 @@ func (d Domain) String() string {
 	return "App"
 }
 
+// AppBase is the base virtual address of application images: a distinct
+// region from the kernel, which sits at low addresses (as in the paper,
+// where "virtual addresses for operating system code are equal to their
+// physical addresses"). The cache simulator exploits the split to keep its
+// eviction-provenance history in dense per-region tables.
+const AppBase = 1 << 24
+
 // Event is one entry of a trace, packed into 32 bits:
 //
 //	bits 31..30  tag: 0 = OS block, 1 = app block, 2 = invocation begin,

@@ -292,6 +292,19 @@ func (s *Study) Evaluate(i int, osL, appL *Layout, cfg CacheConfig) (*Result, er
 	return simulate.Run(d.Trace, osL, appL, cfg)
 }
 
+// EvaluateMany replays workload i's trace through many cache organisations
+// in a single pass (simulate.RunMany): the trace is decoded and every block
+// address resolved once, and all caches sharing a line size are driven from
+// the same event stream. Results are bit-identical to per-config Evaluate
+// calls; sweep experiments use this to avoid redundant trace replays.
+func (s *Study) EvaluateMany(i int, osL, appL *Layout, cfgs []CacheConfig) ([]*Result, error) {
+	d := s.Data[i]
+	if appL == nil && d.App != nil {
+		appL = s.AppBaseLayout(i)
+	}
+	return simulate.RunMany(d.Trace, osL, appL, cfgs)
+}
+
 // EvaluateSplit replays workload i's trace through the paper's "Sep" setup:
 // the cache statically partitioned between OS and application.
 func (s *Study) EvaluateSplit(i int, osL, appL *Layout, osCfg, appCfg CacheConfig) (*Result, error) {
