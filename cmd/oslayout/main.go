@@ -8,11 +8,19 @@
 //	oslayout [flags] all               every registered experiment
 //	oslayout [flags] stats             study summary (kernel, traces, profiles)
 //	oslayout list                      list experiment names
+//	oslayout strategies                list registered layout strategies
+//	oslayout compare [flags]           evaluate strategies over a size grid
 //
 // Paper experiments: table1-table4, fig1-fig8, fig12-fig18. Extensions:
 // xprofile, baselines, ablation, cpus, policy (see EXPERIMENTS.md). The
 // study — kernel synthesis, trace generation, profiling — is built once and
 // shared by all requested experiments.
+//
+// The compare subcommand evaluates any set of registered layout strategies
+// over a workload × cache-size grid through the single-pass simulation
+// engine:
+//
+//	oslayout compare -strategies base,ch,ph,opts -sizes 4k,8k,16k
 package main
 
 import (
@@ -22,9 +30,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"oslayout"
 	"oslayout/internal/expt"
 )
 
@@ -37,6 +47,9 @@ func main() {
 
 // run executes the CLI; factored out of main for testing.
 func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("oslayout", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -65,6 +78,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
+	if len(rest) == 1 && rest[0] == "strategies" {
+		for _, s := range oslayout.Strategies() {
+			scope := "size-independent"
+			if s.SizeDependent {
+				scope = "per cache size"
+			}
+			fmt.Fprintf(stdout, "%-8s (%s) %s\n", s.Name, scope, s.Description)
+		}
+		return nil
+	}
 	names := rest
 	if len(rest) == 1 && rest[0] == "all" {
 		names = expt.Names()
@@ -76,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			wantStats = true
 			continue
 		}
-		if _, ok := expt.Registry[n]; !ok {
+		if !expt.Has(n) {
 			return fmt.Errorf("unknown experiment %q; try 'oslayout list'", n)
 		}
 		expNames = append(expNames, n)
@@ -115,6 +138,111 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runCompare executes the compare subcommand: any set of registered layout
+// strategies evaluated over a workload × cache-size grid in one study.
+func runCompare(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oslayout compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		strategies = fs.String("strategies", "base,ch,ph,opts", "comma-separated registered strategy names")
+		sizes      = fs.String("sizes", "4k,8k,16k", "comma-separated cache sizes (bytes, or with k/K suffix)")
+		line       = fs.Int("line", 32, "cache line size in bytes")
+		assoc      = fs.Int("assoc", 1, "cache associativity")
+		refs       = fs.Uint64("refs", 3_000_000, "OS instruction-word references to trace per workload")
+		seed       = fs.Int64("seed", 0, "kernel generation seed override (0 = default 1995)")
+		timings    = fs.Bool("time", false, "print study build and grid wall-clock time")
+		jsonDir    = fs.String("json", "", "directory to additionally write the result as compare.json")
+	)
+	fs.Usage = func() {
+		var names []string
+		for _, s := range oslayout.Strategies() {
+			names = append(names, s.Name)
+		}
+		fmt.Fprintf(stderr, "usage: oslayout compare [flags]\n\nstrategies: %s\n\nflags:\n",
+			strings.Join(names, " "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("compare takes no positional arguments (got %v)", fs.Args())
+	}
+	stratList := splitList(*strategies)
+	if len(stratList) == 0 {
+		return fmt.Errorf("no strategies given")
+	}
+	known := map[string]bool{}
+	for _, s := range oslayout.Strategies() {
+		known[s.Name] = true
+	}
+	for _, n := range stratList {
+		if !known[n] {
+			return fmt.Errorf("unknown strategy %q; try 'oslayout strategies'", n)
+		}
+	}
+	sizeList, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed})
+	if err != nil {
+		return fmt.Errorf("building study: %w", err)
+	}
+	if *timings {
+		fmt.Fprintf(stdout, "[study built in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	t0 := time.Now()
+	c, err := env.RunCompare(stratList, sizeList, *line, *assoc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, c.Render())
+	if *timings {
+		fmt.Fprintf(stdout, "[grid in %v]\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if *jsonDir != "" {
+		return writeJSON(*jsonDir, "compare", c)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated list, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseSizes parses a comma-separated cache-size list: plain byte counts or
+// k/K-suffixed kilobytes ("4k,8192,16K").
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range splitList(s) {
+		mult := 1
+		num := part
+		if c := part[len(part)-1]; c == 'k' || c == 'K' {
+			mult = 1 << 10
+			num = part[:len(part)-1]
+		}
+		v, err := strconv.Atoi(num)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad cache size %q", part)
+		}
+		sizes = append(sizes, v*mult)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no cache sizes given")
+	}
+	return sizes, nil
 }
 
 // writeJSON stores one experiment's result struct as indented JSON, the

@@ -108,6 +108,85 @@ func TestRunAllExperiments(t *testing.T) {
 	}
 }
 
+func TestRunStrategies(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"strategies"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"base", "ch", "mcf", "ph", "shuffle", "opts", "optl", "optcall"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("strategies output missing %q", want)
+		}
+	}
+	if !strings.Contains(s, "per cache size") || !strings.Contains(s, "size-independent") {
+		t.Error("strategies output missing size-dependence annotations")
+	}
+}
+
+// TestRunCompare drives the compare subcommand end to end: four strategies
+// over three cache sizes on a short trace, with text and JSON output.
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	err := run([]string{"compare", "-refs", "100000",
+		"-strategies", "base,ch,ph,opts", "-sizes", "4k,8k,16k", "-json", dir},
+		&out, &errb)
+	if err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Strategy comparison", "4KB", "8KB", "16KB", "base", "ph", "opts", "%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("compare output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "compare.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Strategies []string
+		Sizes      []int
+		Workloads  []string
+		Rates      [][][]float64
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("compare.json: invalid JSON: %v", err)
+	}
+	if len(decoded.Strategies) != 4 || len(decoded.Sizes) != 3 {
+		t.Fatalf("compare.json grid %dx%d, want 4 strategies x 3 sizes",
+			len(decoded.Strategies), len(decoded.Sizes))
+	}
+	if len(decoded.Rates) != 3 || len(decoded.Rates[0]) != len(decoded.Workloads) {
+		t.Fatalf("compare.json rates shape wrong")
+	}
+	for si := range decoded.Rates {
+		for wi := range decoded.Rates[si] {
+			for k, v := range decoded.Rates[si][wi] {
+				if v <= 0 || v >= 1 {
+					t.Errorf("rate[%d][%d][%d] = %v out of (0,1)", si, wi, k, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunCompareBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"compare", "-strategies", "nonesuch"},
+		{"compare", "-sizes", "0"},
+		{"compare", "-sizes", "4q"},
+		{"compare", "-strategies", ","},
+		{"compare", "positional"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
 func TestRunJSONOutput(t *testing.T) {
 	dir := t.TempDir()
 	var out, errb bytes.Buffer

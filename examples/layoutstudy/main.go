@@ -3,6 +3,10 @@
 // (large caches capture the whole OS working set) and how much associativity
 // a hardware designer would need to match OptS's software-only gains.
 //
+// Layouts are requested through the strategy registry (Strategies /
+// BuildStrategy), so swapping in any other registered placement algorithm is
+// a one-string change.
+//
 // Run with:
 //
 //	go run ./examples/layoutstudy
@@ -22,8 +26,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := st.BaseLayout()
-	ch, err := st.CHLayout()
+	fmt.Print("Registered layout strategies:")
+	for _, s := range oslayout.Strategies() {
+		fmt.Printf(" %s", s.Name)
+	}
+	fmt.Print("\n\n")
+
+	base, _, err := st.BuildStrategy("base", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, _, err := st.BuildStrategy("ch", 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,11 +59,11 @@ func main() {
 	var converged int
 	for _, size := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10} {
 		cfg := oslayout.CacheConfig{Size: size, Line: 32, Assoc: 1}
-		plan, err := st.OptS(size)
+		opts, _, err := st.BuildStrategy("opts", size)
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, c, o := avgRate(base, cfg), avgRate(ch, cfg), avgRate(plan.Layout, cfg)
+		b, c, o := avgRate(base, cfg), avgRate(ch, cfg), avgRate(opts, cfg)
 		ratio := o / c
 		fmt.Printf("%7dK %7.2f%% %7.2f%% %7.2f%% %10.2f\n", size>>10, 100*b, 100*c, 100*o, ratio)
 		if converged == 0 && ratio > 0.95 {
@@ -65,14 +78,14 @@ func main() {
 	// How much hardware associativity matches OptS's software gains?
 	fmt.Println("\nHardware-vs-software: 8KB cache, 32B lines")
 	fmt.Printf("%8s %12s %12s\n", "ways", "Base", "OptS")
-	plan8, err := st.OptS(8 << 10)
+	opts8, _, err := st.BuildStrategy("opts", 8<<10)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var optsDM float64
 	for _, ways := range []int{1, 2, 4, 8} {
 		cfg := oslayout.CacheConfig{Size: 8 << 10, Line: 32, Assoc: ways}
-		b, o := avgRate(base, cfg), avgRate(plan8.Layout, cfg)
+		b, o := avgRate(base, cfg), avgRate(opts8, cfg)
 		if ways == 1 {
 			optsDM = o
 		}

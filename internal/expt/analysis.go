@@ -227,7 +227,7 @@ type Table2 struct {
 // and profile; the miss column uses the Alliant-like 16 KB direct-mapped
 // cache under the Base layout.
 func (e *Env) RunTable2() (*Table2, error) {
-	plan, err := e.OptS(DefaultCache.Size)
+	plan, err := e.Plan("opts", DefaultCache.Size)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,146 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"oslayout/internal/cache"
+	"oslayout/internal/layout"
+	"oslayout/internal/strategy"
+)
+
+// Compare evaluates an arbitrary set of registered layout strategies over
+// the workload × cache-size grid — the engine behind the CLI's `compare`
+// subcommand. It is the generalisation of Figure 15-(a): any strategy mix,
+// any size ladder, one batched trace replay per (workload, layout) through
+// simulate.RunMany.
+type Compare struct {
+	Strategies []string
+	Sizes      []int
+	Line       int
+	Assoc      int
+	Workloads  []string
+	// Rates[s][w][k]: total miss rate at size s, workload w, strategy k.
+	Rates [][][]float64
+}
+
+// RunCompare builds each strategy (once for size-independent strategies,
+// per size otherwise) and evaluates the full grid. Layout construction is
+// serial (profile application mutates kernel weights); evaluation batches
+// cache sizes sharing a (trace, layout) pair through the single-pass engine
+// and runs the batches in parallel.
+func (e *Env) RunCompare(strategies []string, sizes []int, line, assoc int) (*Compare, error) {
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("expt: compare needs at least one strategy")
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("expt: compare needs at least one cache size")
+	}
+	c := &Compare{
+		Strategies: strategies,
+		Sizes:      sizes,
+		Line:       line,
+		Assoc:      assoc,
+		Workloads:  e.Workloads(),
+	}
+
+	// layoutsBySize[s][k] is strategy k's layout for size s; for
+	// size-independent strategies every size shares one build (the strategy
+	// cache normalises the key).
+	sized := make([]bool, len(strategies))
+	layoutsBySize := make([][]*layout.Layout, len(sizes))
+	for si := range sizes {
+		layoutsBySize[si] = make([]*layout.Layout, len(strategies))
+	}
+	for k, name := range strategies {
+		s, err := strategy.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		sized[k] = s.SizeDependent()
+		for si, size := range sizes {
+			l, _, err := e.Strategy(name, size)
+			if err != nil {
+				return nil, fmt.Errorf("building %s at %dB: %w", name, size, err)
+			}
+			layoutsBySize[si][k] = l
+		}
+	}
+
+	nw := len(e.St.Data)
+	c.Rates = make([][][]float64, len(sizes))
+	for si := range sizes {
+		c.Rates[si] = make([][]float64, nw)
+		for wi := 0; wi < nw; wi++ {
+			c.Rates[si][wi] = make([]float64, len(strategies))
+		}
+	}
+
+	// One task per (workload, strategy): size-independent strategies ride
+	// all sizes on one trace replay; size-dependent ones get one task per
+	// size (each a single-config batch), mirroring Figure 15.
+	type task struct {
+		wi, k int
+		sis   []int
+	}
+	allSizes := make([]int, len(sizes))
+	for si := range sizes {
+		allSizes[si] = si
+	}
+	var tasks []task
+	for wi := 0; wi < nw; wi++ {
+		for k := range strategies {
+			if sized[k] {
+				for si := range sizes {
+					tasks = append(tasks, task{wi, k, []int{si}})
+				}
+			} else {
+				tasks = append(tasks, task{wi, k, allSizes})
+			}
+		}
+	}
+	err := parEach(len(tasks), func(j int) error {
+		tk := tasks[j]
+		cfgs := make([]cache.Config, len(tk.sis))
+		for i, si := range tk.sis {
+			cfgs[i] = cache.Config{Size: sizes[si], Line: line, Assoc: assoc}
+		}
+		ress, err := e.EvalMany(tk.wi, layoutsBySize[tk.sis[0]][tk.k], nil, cfgs)
+		if err != nil {
+			return err
+		}
+		for i, si := range tk.sis {
+			c.Rates[si][tk.wi][tk.k] = ress[i].Stats.MissRate()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Render formats the grid as one table per cache size.
+func (c *Compare) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Strategy comparison: total miss rates (%%), %dB lines, %d-way\n", c.Line, c.Assoc)
+	fmt.Fprintf(&sb, "  %-7s %-12s", "size", "workload")
+	for _, s := range c.Strategies {
+		fmt.Fprintf(&sb, " %8s", s)
+	}
+	sb.WriteString("\n")
+	for si, size := range c.Sizes {
+		label := fmt.Sprintf("%dKB", size>>10)
+		if size%(1<<10) != 0 {
+			label = fmt.Sprintf("%dB", size)
+		}
+		for wi, w := range c.Workloads {
+			fmt.Fprintf(&sb, "  %-7s %-12s", label, w)
+			for k := range c.Strategies {
+				fmt.Fprintf(&sb, " %7.2f%%", 100*c.Rates[si][wi][k])
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

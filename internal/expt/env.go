@@ -1,7 +1,7 @@
 // Package expt regenerates every table and figure of the paper's evaluation
 // from the synthetic study: one constructor per experiment, each returning a
 // renderable result with the same rows/series the paper reports. The
-// cmd/oslayout driver and the benchmark suite dispatch through Registry.
+// cmd/oslayout driver and the benchmark suite dispatch through the registry.
 package expt
 
 import (
@@ -10,8 +10,10 @@ import (
 	"oslayout"
 	"oslayout/internal/cache"
 	"oslayout/internal/cfa"
+	"oslayout/internal/core"
 	"oslayout/internal/layout"
 	"oslayout/internal/simulate"
+	"oslayout/internal/strategy"
 )
 
 // DefaultCache is the evaluation's reference organisation: an 8 KB
@@ -27,18 +29,19 @@ type Options struct {
 	KernelSeed int64
 }
 
-// Env is the shared environment of all experiments: one study plus caches of
-// derived layouts, reused across experiments to keep the full paper run
-// fast.
+// Env is the shared environment of all experiments: one study plus the
+// strategy build cache, reused across experiments to keep the full paper
+// run fast. Experiments request kernel layouts by registered strategy name
+// (see internal/strategy); parameter variants outside the registry go
+// through the cache's custom keys.
 type Env struct {
 	St *oslayout.Study
 
-	base  *layout.Layout
-	ch    *layout.Layout
-	plans map[string]*oslayout.Plan
-	// appBase[i] caches workload i's Base application layout.
-	appBase map[int]*layout.Layout
+	layouts *strategy.Cache
 	loops   []cfa.Loop
+	// results memoizes experiment outputs by registry memo key, so
+	// experiments sharing a runner (fig4/fig5) compute once per run.
+	results map[string]Renderer
 }
 
 // NewEnv builds the environment: kernel, traces, profiles.
@@ -59,57 +62,65 @@ func NewEnv(opt Options) (*Env, error) {
 	}
 	return &Env{
 		St:      st,
-		plans:   make(map[string]*oslayout.Plan),
-		appBase: make(map[int]*layout.Layout),
+		layouts: strategy.NewCache(st),
+		results: make(map[string]Renderer),
 	}, nil
 }
 
-// Base returns the kernel's Base layout.
-func (e *Env) Base() *layout.Layout {
-	if e.base == nil {
-		e.base = e.St.BaseLayout()
+// Strategy returns the memoized build of a registered layout strategy for
+// the given cache size (ignored by size-independent strategies).
+func (e *Env) Strategy(name string, size int) (*layout.Layout, *oslayout.Plan, error) {
+	b, err := e.layouts.Build(name, strategy.Params{CacheSize: size})
+	if err != nil {
+		return nil, nil, err
 	}
-	return e.base
+	return b.Layout, b.Plan, nil
 }
 
-// CH returns the Chang-Hwu layout.
-func (e *Env) CH() (*layout.Layout, error) {
-	if e.ch == nil {
-		l, err := e.St.CHLayout()
-		if err != nil {
-			return nil, err
-		}
-		e.ch = l
-	}
-	return e.ch, nil
+// Layout returns a strategy's layout, for strategies evaluated by layout
+// alone.
+func (e *Env) Layout(name string, size int) (*layout.Layout, error) {
+	l, _, err := e.Strategy(name, size)
+	return l, err
 }
 
-// plan memoises placement plans by a key.
-func (e *Env) plan(key string, build func() (*oslayout.Plan, error)) (*oslayout.Plan, error) {
-	if p, ok := e.plans[key]; ok {
-		return p, nil
-	}
-	p, err := build()
+// Plan returns a strategy's placement plan; it errors for strategies that
+// produce no plan (the heuristic baselines).
+func (e *Env) Plan(name string, size int) (*oslayout.Plan, error) {
+	_, p, err := e.Strategy(name, size)
 	if err != nil {
 		return nil, err
 	}
-	e.plans[key] = p
+	if p == nil {
+		return nil, fmt.Errorf("expt: strategy %q produces no placement plan", name)
+	}
 	return p, nil
 }
 
-// OptS returns the OptS plan for a cache size.
-func (e *Env) OptS(size int) (*oslayout.Plan, error) {
-	return e.plan(fmt.Sprintf("OptS/%d", size), func() (*oslayout.Plan, error) { return e.St.OptS(size) })
+// Base returns the kernel's Base layout (the "base" strategy).
+func (e *Env) Base() *layout.Layout {
+	l, _, err := e.Strategy("base", 0)
+	if err != nil {
+		// The base strategy is registered and profile-free; it cannot fail.
+		panic(fmt.Sprintf("expt: building base layout: %v", err))
+	}
+	return l
 }
 
-// OptL returns the OptL plan for a cache size.
-func (e *Env) OptL(size int) (*oslayout.Plan, error) {
-	return e.plan(fmt.Sprintf("OptL/%d", size), func() (*oslayout.Plan, error) { return e.St.OptL(size) })
-}
-
-// OptCall returns the Section 4.4 "Call" plan for a cache size.
-func (e *Env) OptCall(size int) (*oslayout.Plan, error) {
-	return e.plan(fmt.Sprintf("Call/%d", size), func() (*oslayout.Plan, error) { return e.St.OptCall(size) })
+// plan memoises custom placement plans (parameter variants outside the
+// strategy registry) by an opaque key.
+func (e *Env) plan(key string, build func() (*oslayout.Plan, error)) (*oslayout.Plan, error) {
+	b, err := e.layouts.Custom(key, func(strategy.Study) (*layout.Layout, *core.Plan, error) {
+		p, err := build()
+		if err != nil {
+			return nil, nil, err
+		}
+		return p.Layout, p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Plan, nil
 }
 
 // OptSCutoff returns an OptS variant with a specific SelfConfFree cutoff
@@ -126,12 +137,13 @@ func (e *Env) OptSCutoff(size int, cutoff float64) (*oslayout.Plan, error) {
 
 // AppBase returns workload i's Base application layout (nil if none).
 func (e *Env) AppBase(i int) *layout.Layout {
-	if l, ok := e.appBase[i]; ok {
-		return l
+	b, err := e.layouts.Custom(fmt.Sprintf("appbase/%d", i), func(strategy.Study) (*layout.Layout, *core.Plan, error) {
+		return e.St.AppBaseLayout(i), nil, nil
+	})
+	if err != nil {
+		return nil
 	}
-	l := e.St.AppBaseLayout(i)
-	e.appBase[i] = l
-	return l
+	return b.Layout
 }
 
 // AppOpt returns workload i's optimised application layout aligned against

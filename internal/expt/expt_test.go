@@ -37,15 +37,52 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		"overhead", "lineutil", "noise", "fragments", "sizemismatch",
 	}
 	for _, n := range want {
-		if _, ok := Registry[n]; !ok {
+		if !Has(n) {
 			t.Errorf("experiment %q missing from registry", n)
 		}
 	}
-	if len(Registry) != len(want) {
-		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	if NumExperiments() != len(want) {
+		t.Errorf("registry has %d entries, want %d", NumExperiments(), len(want))
 	}
 	if _, err := Run(testEnv(t), "nonsense"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestNamesNaturalOrder checks the numeric-aware ordering: fig2 must precede
+// fig12 so `oslayout list` and `all` follow paper order.
+func TestNamesNaturalOrder(t *testing.T) {
+	names := Names()
+	pos := map[string]int{}
+	for i, n := range names {
+		pos[n] = i
+	}
+	ordered := []string{"fig1", "fig2", "fig8", "fig12", "fig18"}
+	for i := 1; i < len(ordered); i++ {
+		if pos[ordered[i-1]] >= pos[ordered[i]] {
+			t.Errorf("%s listed at %d, not before %s at %d",
+				ordered[i-1], pos[ordered[i-1]], ordered[i], pos[ordered[i]])
+		}
+	}
+	if pos["table1"] >= pos["table2"] || pos["table2"] >= pos["table4"] {
+		t.Error("tables out of order")
+	}
+}
+
+// TestSharedRunnerMemoized checks that fig4 and fig5, which share one
+// runner, compute once per Env and return the identical result.
+func TestSharedRunnerMemoized(t *testing.T) {
+	e := testEnv(t)
+	r4, err := Run(e, "fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := Run(e, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 != r5 {
+		t.Error("fig4 and fig5 returned distinct results; the shared runner ran twice")
 	}
 }
 

@@ -7,14 +7,12 @@ package expt
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"oslayout"
 	"oslayout/internal/cache"
 	"oslayout/internal/core"
 	"oslayout/internal/layout"
-	"oslayout/internal/mcflayout"
 	"oslayout/internal/program"
 	"oslayout/internal/simulate"
 	"oslayout/internal/trace"
@@ -78,7 +76,7 @@ func (e *Env) RunCrossProfile() (*CrossProfile, error) {
 		}
 		x.Normalised = append(x.Normalised, row)
 	}
-	avgPlan, err := e.OptS(cfg.Size)
+	avgPlan, err := e.Plan("opts", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
@@ -113,37 +111,45 @@ func (x *CrossProfile) Render() string {
 }
 
 // Baselines compares the layout families at the default cache: the original
-// layout, the McFarling-style baseline, Chang-Hwu, and the paper's OptS.
+// layout, a shuffle control, the McFarling-style and Pettis-Hansen
+// call-graph baselines, Chang-Hwu, and the paper's OptS — each requested
+// from the strategy registry by name.
 type Baselines struct {
 	Workloads []string
-	Layouts   []string
+	// Strategies holds the registry names; Layouts the display labels.
+	Strategies []string
+	Layouts    []string
 	// Rates[w][l] are total miss rates.
 	Rates [][]float64
+}
+
+// baselineLadder is the comparison ladder, weakest family first.
+var baselineLadder = []struct{ name, label string }{
+	{"base", "Base"},
+	{"shuffle", "Shuffle"},
+	{"mcf", "McF"},
+	{"ph", "PH"},
+	{"ch", "C-H"},
+	{"opts", "OptS"},
 }
 
 // RunBaselines computes the comparison.
 func (e *Env) RunBaselines() (*Baselines, error) {
 	cfg := DefaultCache
-	if err := e.St.UseAverageProfile(); err != nil {
-		return nil, err
+	b := &Baselines{Workloads: e.Workloads()}
+	var layouts []*layout.Layout
+	for _, s := range baselineLadder {
+		l, err := e.Layout(s.name, cfg.Size)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		b.Strategies = append(b.Strategies, s.name)
+		b.Layouts = append(b.Layouts, s.label)
+		layouts = append(layouts, l)
 	}
-	mcf := mcflayout.New(e.St.Kernel.Prog, 0)
-	if err := mcf.Validate(); err != nil {
-		return nil, err
-	}
-	ch, err := e.CH()
-	if err != nil {
-		return nil, err
-	}
-	plan, err := e.OptS(cfg.Size)
-	if err != nil {
-		return nil, err
-	}
-	b := &Baselines{
-		Workloads: e.Workloads(),
-		Layouts:   []string{"Base", "Shuffle", "McF", "C-H", "OptS"},
-	}
-	layouts := []*layout.Layout{e.Base(), shuffleLayout(e.St.Kernel.Prog, 97), mcf, ch, plan.Layout}
 	for i := range e.St.Data {
 		var row []float64
 		for _, l := range layouts {
@@ -174,30 +180,10 @@ func (b *Baselines) Render() string {
 		}
 		sb.WriteString("\n")
 	}
-	sb.WriteString("  (expected: {Base, Shuffle} > McF > C-H > OptS — a random routine shuffle\n")
-	sb.WriteString("   is no cure, structure-only placement helps, intra-routine traces help more,\n")
-	sb.WriteString("   cross-routine sequences + SelfConfFree most)\n")
+	sb.WriteString("  (expected: {Base, Shuffle} > McF >= PH > C-H > OptS — a random routine\n")
+	sb.WriteString("   shuffle is no cure, call-graph procedure ordering helps, intra-routine\n")
+	sb.WriteString("   traces help more, cross-routine sequences + SelfConfFree most)\n")
 	return sb.String()
-}
-
-// shuffleLayout places routines in a seeded random permutation — the
-// "blind reshuffle" control for the baselines ladder: conflict peaks move
-// around but the expected conflict volume stays Base-like, showing that the
-// profile-guided structure, not mere rearrangement, produces the gains.
-func shuffleLayout(p *program.Program, seed int64) *layout.Layout {
-	rng := rand.New(rand.NewSource(seed))
-	order := p.Order()
-	shuffled := make([]program.RoutineID, len(order))
-	copy(shuffled, order)
-	rng.Shuffle(len(shuffled), func(i, j int) {
-		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
-	})
-	l := layout.New("Shuffle", p, 0)
-	pb := layout.NewBuilder(l)
-	for _, r := range shuffled {
-		pb.AppendAll(p.Routines[r].Blocks)
-	}
-	return l
 }
 
 // Ablation evaluates OptS design choices in isolation at the default cache:
@@ -316,7 +302,7 @@ type MultiCPU struct {
 func (e *Env) RunMultiCPU() (*MultiCPU, error) {
 	const cpus = 4
 	cfg := DefaultCache
-	plan, err := e.OptS(cfg.Size)
+	plan, err := e.Plan("opts", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
@@ -383,7 +369,7 @@ type ReplacementPolicy struct {
 func (e *Env) RunReplacementPolicy() (*ReplacementPolicy, error) {
 	lru := cache.Config{Size: 8 << 10, Line: 32, Assoc: 4}
 	rnd := cache.Config{Size: 8 << 10, Line: 32, Assoc: 4, Policy: cache.RandomReplacement}
-	plan, err := e.OptS(8 << 10)
+	plan, err := e.Plan("opts", 8<<10)
 	if err != nil {
 		return nil, err
 	}

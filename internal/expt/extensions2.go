@@ -33,15 +33,15 @@ type Overhead struct {
 // RunOverhead computes the table.
 func (e *Env) RunOverhead() (*Overhead, error) {
 	cfg := DefaultCache
-	ch, err := e.CH()
+	ch, err := e.Layout("ch", 0)
 	if err != nil {
 		return nil, err
 	}
-	opts, err := e.OptS(cfg.Size)
+	opts, err := e.Plan("opts", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
-	optl, err := e.OptL(cfg.Size)
+	optl, err := e.Plan("optl", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
@@ -102,11 +102,11 @@ func (e *Env) RunLineUtil() (*LineUtil, error) {
 		Lines:     []int{16, 32, 64, 128},
 		Workloads: e.Workloads(),
 	}
-	ch, err := e.CH()
+	ch, err := e.Layout("ch", 0)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := e.OptS(8 << 10)
+	plan, err := e.Plan("opts", 8<<10)
 	if err != nil {
 		return nil, err
 	}
@@ -281,11 +281,11 @@ func (e *Env) RunFragmentation() (*Fragmentation, error) {
 	if err := e.St.UseAverageProfile(); err != nil {
 		return nil, err
 	}
-	ch, err := e.CH()
+	ch, err := e.Layout("ch", 0)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := e.OptS(DefaultCache.Size)
+	plan, err := e.Plan("opts", DefaultCache.Size)
 	if err != nil {
 		return nil, err
 	}
@@ -349,12 +349,12 @@ func (e *Env) RunSizeMismatch() (*SizeMismatch, error) {
 		Sizes:     []int{4 << 10, 8 << 10, 16 << 10},
 		Workloads: e.Workloads(),
 	}
-	plan8, err := e.OptS(8 << 10)
+	plan8, err := e.Plan("opts", 8<<10)
 	if err != nil {
 		return nil, err
 	}
 	for _, size := range m.Sizes {
-		matched, err := e.OptS(size)
+		matched, err := e.Plan("opts", size)
 		if err != nil {
 			return nil, err
 		}

@@ -20,7 +20,7 @@ type Table4 struct {
 
 // RunTable4 computes Table 4 from the averaged profile.
 func (e *Env) RunTable4() (*Table4, error) {
-	plan, err := e.OptS(DefaultCache.Size)
+	plan, err := e.Plan("opts", DefaultCache.Size)
 	if err != nil {
 		return nil, err
 	}
@@ -86,15 +86,15 @@ func layoutBars(name string, res *simulate.Result, baseTotal uint64) LayoutBars 
 // RunFigure12 computes Figure 12.
 func (e *Env) RunFigure12() (*Figure12, error) {
 	cfg := DefaultCache
-	ch, err := e.CH()
+	ch, err := e.Layout("ch", 0)
 	if err != nil {
 		return nil, err
 	}
-	opts, err := e.OptS(cfg.Size)
+	opts, err := e.Plan("opts", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
-	optl, err := e.OptL(cfg.Size)
+	optl, err := e.Plan("optl", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
@@ -187,16 +187,16 @@ func figure13Class(c core.BlockClass) int {
 // RunFigure13 computes Figure 13.
 func (e *Env) RunFigure13() (*Figure13, error) {
 	cfg := DefaultCache
-	plan, err := e.OptL(cfg.Size)
+	plan, err := e.Plan("optl", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
 	classes := plan.Classes
-	ch, err := e.CH()
+	ch, err := e.Layout("ch", 0)
 	if err != nil {
 		return nil, err
 	}
-	opts, err := e.OptS(cfg.Size)
+	opts, err := e.Plan("opts", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
@@ -287,11 +287,11 @@ type Figure14 struct {
 // RunFigure14 computes Figure 14.
 func (e *Env) RunFigure14() (*Figure14, error) {
 	cfg := DefaultCache
-	ch, err := e.CH()
+	ch, err := e.Layout("ch", 0)
 	if err != nil {
 		return nil, err
 	}
-	opts, err := e.OptS(cfg.Size)
+	opts, err := e.Plan("opts", cfg.Size)
 	if err != nil {
 		return nil, err
 	}

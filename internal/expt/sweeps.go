@@ -33,7 +33,7 @@ func (e *Env) RunFigure15() (*Figure15, error) {
 		Workloads: e.Workloads(),
 		Penalties: []float64{10, 30, 50},
 	}
-	ch, err := e.CH()
+	ch, err := e.Layout("ch", 0)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +42,7 @@ func (e *Env) RunFigure15() (*Figure15, error) {
 	base := e.Base()
 	layoutsBySize := make([][3]*layout.Layout, len(f.Sizes))
 	for si, size := range f.Sizes {
-		plan, err := e.OptS(size)
+		plan, err := e.Plan("opts", size)
 		if err != nil {
 			return nil, err
 		}
@@ -264,11 +264,11 @@ func (e *Env) RunFigure17() (*Figure17, error) {
 		Assocs:    []int{1, 2, 4, 8},
 		Workloads: e.Workloads(),
 	}
-	ch, err := e.CH()
+	ch, err := e.Layout("ch", 0)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := e.OptS(8 << 10)
+	plan, err := e.Plan("opts", 8<<10)
 	if err != nil {
 		return nil, err
 	}
@@ -354,12 +354,12 @@ func (e *Env) RunFigure18() (*Figure18, error) {
 		Workloads: e.Workloads(),
 		Setups:    []string{"Base", "OptA", "Sep", "Resv", "Call"},
 	}
-	optsFull, err := e.OptS(cfg.Size)
+	optsFull, err := e.Plan("opts", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
 	// Sep: both halves optimised for a half-size cache.
-	halfPlan, err := e.OptS(cfg.Size / 2)
+	halfPlan, err := e.Plan("opts", cfg.Size/2)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +375,7 @@ func (e *Env) RunFigure18() (*Figure18, error) {
 	if err != nil {
 		return nil, err
 	}
-	callPlan, err := e.OptCall(cfg.Size)
+	callPlan, err := e.Plan("optcall", cfg.Size)
 	if err != nil {
 		return nil, err
 	}

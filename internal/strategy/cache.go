@@ -1,0 +1,85 @@
+package strategy
+
+import (
+	"sync"
+
+	"oslayout/internal/core"
+	"oslayout/internal/layout"
+)
+
+// Built is one memoized strategy product.
+type Built struct {
+	Layout *layout.Layout
+	// Plan is non-nil only for strategies built on the paper's placement
+	// algorithm.
+	Plan *core.Plan
+}
+
+// cacheKey identifies one build: (strategy name, active profile, cache
+// size). Size-independent strategies normalise the size to 0 so requests at
+// different cache sizes share one entry.
+type cacheKey struct {
+	name    string
+	profile string
+	size    int
+}
+
+// Cache memoizes strategy builds for one study. Building mutates the kernel
+// program's weight fields (profiles are applied in place), so the cache
+// serialises builds under one lock; evaluation of the returned layouts is
+// read-only and needs no coordination.
+type Cache struct {
+	st    Study
+	mu    sync.Mutex
+	built map[cacheKey]*Built
+}
+
+// NewCache returns an empty cache over the study.
+func NewCache(st Study) *Cache {
+	return &Cache{st: st, built: make(map[cacheKey]*Built)}
+}
+
+// Build returns the memoized product of the named strategy, building it on
+// first use. Errors are not cached.
+func (c *Cache) Build(name string, p Params) (*Built, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{name: name, profile: p.profile(), size: p.CacheSize}
+	if !s.SizeDependent() {
+		key.size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.built[key]; ok {
+		return b, nil
+	}
+	l, plan, err := s.Build(c.st, p)
+	if err != nil {
+		return nil, err
+	}
+	b := &Built{Layout: l, Plan: plan}
+	c.built[key] = b
+	return b, nil
+}
+
+// Custom memoizes a caller-supplied build under an opaque key, for
+// parameter variants outside the registry (SelfConfFree-cutoff sweeps, the
+// Resv setup, per-workload application layouts). Keys live in a separate
+// namespace from registered strategy names.
+func (c *Cache) Custom(key string, build func(Study) (*layout.Layout, *core.Plan, error)) (*Built, error) {
+	k := cacheKey{name: "custom:" + key}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.built[k]; ok {
+		return b, nil
+	}
+	l, plan, err := build(c.st)
+	if err != nil {
+		return nil, err
+	}
+	b := &Built{Layout: l, Plan: plan}
+	c.built[k] = b
+	return b, nil
+}

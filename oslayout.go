@@ -23,6 +23,8 @@ package oslayout
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"oslayout/internal/appgen"
 	"oslayout/internal/cache"
@@ -33,6 +35,7 @@ import (
 	"oslayout/internal/profile"
 	"oslayout/internal/program"
 	"oslayout/internal/simulate"
+	"oslayout/internal/strategy"
 	"oslayout/internal/trace"
 	"oslayout/internal/workload"
 )
@@ -166,6 +169,65 @@ func (s *Study) UseAverageProfile() error { return s.AvgOS.Apply(s.Kernel.Prog) 
 // cross-profile robustness experiments.
 func (s *Study) UseWorkloadProfile(i int) error {
 	return s.Data[i].OSProfile.Apply(s.Kernel.Prog)
+}
+
+// KernelProgram returns the kernel's control-flow graph (the program layout
+// strategies place).
+func (s *Study) KernelProgram() *Program { return s.Kernel.Prog }
+
+// ApplyProfile applies the named kernel profile to the kernel program's
+// weight fields: "avg" (or "") selects the averaged profile, "w<i>"
+// workload i's own profile. Layout strategies call this before building.
+func (s *Study) ApplyProfile(name string) error {
+	switch {
+	case name == "" || name == strategy.AvgProfile:
+		return s.UseAverageProfile()
+	case strings.HasPrefix(name, "w"):
+		i, err := strconv.Atoi(name[1:])
+		if err != nil || i < 0 || i >= len(s.Data) {
+			return fmt.Errorf("oslayout: unknown profile %q", name)
+		}
+		return s.UseWorkloadProfile(i)
+	default:
+		return fmt.Errorf("oslayout: unknown profile %q", name)
+	}
+}
+
+// StrategyInfo describes one registered layout strategy.
+type StrategyInfo struct {
+	// Name is the registry key accepted by BuildStrategy and the CLI's
+	// compare subcommand.
+	Name string
+	// Description summarises the algorithm in one line.
+	Description string
+	// SizeDependent reports whether the layout depends on the target cache
+	// size.
+	SizeDependent bool
+}
+
+// Strategies lists the registered layout strategies in name order.
+func Strategies() []StrategyInfo {
+	var out []StrategyInfo
+	for _, n := range strategy.Names() {
+		s, err := strategy.Get(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, StrategyInfo{Name: n, Description: s.Describe(), SizeDependent: s.SizeDependent()})
+	}
+	return out
+}
+
+// BuildStrategy builds the named registered strategy's kernel layout for
+// the given cache size (ignored by size-independent strategies) from the
+// averaged profile. The returned Plan is non-nil only for strategies built
+// on the paper's placement algorithm (opts, optl, optcall).
+func (s *Study) BuildStrategy(name string, cacheSize int) (*Layout, *Plan, error) {
+	st, err := strategy.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.Build(s, strategy.Params{CacheSize: cacheSize})
 }
 
 // BaseLayout returns the kernel's original (link-order) layout.

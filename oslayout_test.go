@@ -327,3 +327,77 @@ func TestStudyTraceRoundTripSimulation(t *testing.T) {
 		t.Fatalf("stats differ after round trip: %+v vs %+v", got.Stats, orig.Stats)
 	}
 }
+
+func TestStrategiesAPI(t *testing.T) {
+	infos := Strategies()
+	byName := map[string]StrategyInfo{}
+	for _, s := range infos {
+		if s.Description == "" {
+			t.Errorf("strategy %q has no description", s.Name)
+		}
+		byName[s.Name] = s
+	}
+	for _, want := range []string{"base", "shuffle", "mcf", "ph", "ch", "opts", "optl", "optcall"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("Strategies() missing %q", want)
+		}
+	}
+	if byName["base"].SizeDependent || byName["ph"].SizeDependent {
+		t.Error("base/ph must be size-independent")
+	}
+	if !byName["opts"].SizeDependent {
+		t.Error("opts must be size-dependent")
+	}
+}
+
+func TestBuildStrategyOnStudy(t *testing.T) {
+	st := smallStudy(t)
+	// Size-independent: no plan, valid layout.
+	l, plan, err := st.BuildStrategy("ph", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		t.Error("ph returned a plan; only core-algorithm strategies have one")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("ph layout invalid: %v", err)
+	}
+	// Size-dependent: plan present, and the layout beats Base on the average
+	// profile (the strategy is the paper's own optimiser).
+	lo, plan2, err := st.BuildStrategy("opts", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2 == nil {
+		t.Error("opts returned no plan")
+	}
+	if err := lo.Validate(); err != nil {
+		t.Fatalf("opts layout invalid: %v", err)
+	}
+	if _, _, err := st.BuildStrategy("nonesuch", 8<<10); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestApplyProfileNames(t *testing.T) {
+	st := smallStudy(t)
+	if err := st.ApplyProfile("w0"); err != nil {
+		t.Fatal(err)
+	}
+	w0 := st.Kernel.Prog.TotalWeight()
+	if err := st.ApplyProfile("avg"); err != nil {
+		t.Fatal(err)
+	}
+	if avg := st.Kernel.Prog.TotalWeight(); avg == w0 {
+		t.Error("avg profile identical to w0; switching had no effect")
+	}
+	if err := st.ApplyProfile(""); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"w99", "w-1", "wx", "bogus"} {
+		if err := st.ApplyProfile(bad); err == nil {
+			t.Errorf("profile name %q accepted", bad)
+		}
+	}
+}
