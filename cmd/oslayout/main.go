@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -36,6 +37,8 @@ import (
 
 	"oslayout"
 	"oslayout/internal/expt"
+	"oslayout/internal/obs"
+	"oslayout/internal/simulate"
 )
 
 func main() {
@@ -58,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timings    = fs.Bool("time", false, "print per-experiment wall-clock time")
 		dumpTraces = fs.String("dumptraces", "", "directory to write the captured workload traces to (binary format)")
 		jsonDir    = fs.String("json", "", "directory to additionally write each experiment's result as <name>.json")
+		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: oslayout [flags] <experiment>...|all|stats|list\n\nexperiments: %v\n\nflags:\n",
@@ -95,6 +99,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	wantStats := false
 	var expNames []string
 	for _, n := range names {
+		// Subcommand words mixed into an experiment list would otherwise die
+		// with a misleading "unknown experiment"; reject them with a pointer
+		// to the right invocation instead.
+		switch n {
+		case "list", "strategies":
+			return fmt.Errorf("%q must be the only argument: oslayout %s", n, n)
+		case "compare":
+			return fmt.Errorf("compare is a subcommand and must come first: oslayout compare [flags]")
+		}
 		if n == "stats" {
 			wantStats = true
 			continue
@@ -105,8 +118,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		expNames = append(expNames, n)
 	}
 
+	var rec *oslayout.Recorder
+	if *reportDir != "" {
+		rec = oslayout.NewRecorder()
+	}
 	start := time.Now()
-	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed})
+	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed, Recorder: rec})
 	if err != nil {
 		return fmt.Errorf("building study: %w", err)
 	}
@@ -118,8 +135,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	results := make(map[string]string)
 	if wantStats {
-		printStats(env, stdout)
+		var b strings.Builder
+		printStats(env, &b)
+		io.WriteString(stdout, b.String())
+		results["stats"] = oslayout.Digest(b.String())
 	}
 	for _, n := range expNames {
 		t0 := time.Now()
@@ -127,7 +148,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", n, err)
 		}
-		fmt.Fprintf(stdout, "==== %s ====\n%s\n", n, r.Render())
+		rendered := r.Render()
+		fmt.Fprintf(stdout, "==== %s ====\n%s\n", n, rendered)
+		results[n] = oslayout.Digest(rendered)
 		if *jsonDir != "" {
 			if err := writeJSON(*jsonDir, n, r); err != nil {
 				return err
@@ -136,6 +159,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *timings {
 			fmt.Fprintf(stdout, "[%s in %v]\n", n, time.Since(t0).Round(time.Millisecond))
 		}
+	}
+	if *reportDir != "" {
+		return writeManifest(*reportDir, "oslayout "+strings.Join(args, " "), fs, env, rec, results)
 	}
 	return nil
 }
@@ -154,6 +180,8 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		seed       = fs.Int64("seed", 0, "kernel generation seed override (0 = default 1995)")
 		timings    = fs.Bool("time", false, "print study build and grid wall-clock time")
 		jsonDir    = fs.String("json", "", "directory to additionally write the result as compare.json")
+		detail     = fs.Bool("detail", false, "print per-strategy conflict attribution next to the miss rates")
+		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
 	)
 	fs.Usage = func() {
 		var names []string
@@ -188,8 +216,12 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	var rec *oslayout.Recorder
+	if *reportDir != "" {
+		rec = oslayout.NewRecorder()
+	}
 	start := time.Now()
-	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed})
+	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed, Recorder: rec})
 	if err != nil {
 		return fmt.Errorf("building study: %w", err)
 	}
@@ -197,18 +229,85 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "[study built in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
 	t0 := time.Now()
-	c, err := env.RunCompare(stratList, sizeList, *line, *assoc)
+	c, err := env.RunCompareDetail(stratList, sizeList, *line, *assoc, *detail)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(stdout, c.Render())
+	rendered := c.Render()
+	fmt.Fprint(stdout, rendered)
 	if *timings {
 		fmt.Fprintf(stdout, "[grid in %v]\n", time.Since(t0).Round(time.Millisecond))
 	}
 	if *jsonDir != "" {
-		return writeJSON(*jsonDir, "compare", c)
+		if err := writeJSON(*jsonDir, "compare", c); err != nil {
+			return err
+		}
+	}
+	if *reportDir != "" {
+		results := map[string]string{"compare": oslayout.Digest(rendered)}
+		return writeManifest(*reportDir, "oslayout compare "+strings.Join(args, " "), fs, env, rec, results)
 	}
 	return nil
+}
+
+// writeManifest assembles and writes the run manifest: the effective flag
+// values, the recorder's phase timings and counters, the digest of every
+// rendered result, and the conflict attribution of each workload replayed
+// under the Base layout at the reference cache organisation.
+func writeManifest(dir, command string, fs *flag.FlagSet, env *expt.Env, rec *oslayout.Recorder, results map[string]string) error {
+	flags := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+	seed, _ := strconv.ParseInt(flags["seed"], 10, 64)
+	if seed == 0 {
+		seed = oslayout.DefaultKernelConfig().Seed
+	}
+	refs, _ := strconv.ParseUint(flags["refs"], 10, 64)
+	conflicts, err := conflictReports(env, rec)
+	if err != nil {
+		return err
+	}
+	m := &obs.Manifest{
+		Command:            command,
+		Flags:              flags,
+		Seed:               seed,
+		Refs:               refs,
+		Phases:             rec.Phases(),
+		Counters:           rec.Counters(),
+		ReplayEventsPerSec: rec.EventsPerSec(),
+		Results:            results,
+		Conflicts:          conflicts,
+	}
+	return m.Write(dir)
+}
+
+// conflictReports replays every workload under the kernel's Base layout at
+// the reference cache with a SimStats observer attached: the manifest's
+// per-set conflict histograms, miss-rate time series and top conflicting
+// routine pairs.
+func conflictReports(env *expt.Env, rec *oslayout.Recorder) ([]obs.ConflictReport, error) {
+	done := rec.Span("report.conflicts")
+	defer done()
+	base := env.Base()
+	cfg := expt.DefaultCache
+	resolver := obs.NewLineResolver(cfg.Line, base)
+	resolve := func(line uint64) string {
+		if line*uint64(cfg.Line) >= simulate.AppBase {
+			return "app"
+		}
+		return resolver.Owner(line)
+	}
+	var reps []obs.ConflictReport
+	for i, d := range env.St.Data {
+		s := oslayout.NewSimStats(0)
+		t0 := time.Now()
+		res, err := env.St.EvaluateObserved(i, base, nil, cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		rec.AddReplay(uint64(d.Trace.NumEvents()), time.Since(t0))
+		reps = append(reps, obs.NewConflictReport(d.Workload.Name, base.Name, s, res.Stats.MissRate(), resolve, 8))
+	}
+	return reps, nil
 }
 
 // splitList splits a comma-separated list, dropping empty elements.
@@ -222,20 +321,27 @@ func splitList(s string) []string {
 	return out
 }
 
-// parseSizes parses a comma-separated cache-size list: plain byte counts or
-// k/K-suffixed kilobytes ("4k,8192,16K").
+// parseSizes parses a comma-separated cache-size list: plain byte counts,
+// k/K-suffixed kilobytes or m/M-suffixed megabytes ("4k,8192,1M").
 func parseSizes(s string) ([]int, error) {
 	var sizes []int
 	for _, part := range splitList(s) {
 		mult := 1
 		num := part
-		if c := part[len(part)-1]; c == 'k' || c == 'K' {
+		switch part[len(part)-1] {
+		case 'k', 'K':
 			mult = 1 << 10
+			num = part[:len(part)-1]
+		case 'm', 'M':
+			mult = 1 << 20
 			num = part[:len(part)-1]
 		}
 		v, err := strconv.Atoi(num)
 		if err != nil || v <= 0 {
 			return nil, fmt.Errorf("bad cache size %q", part)
+		}
+		if v > math.MaxInt/mult {
+			return nil, fmt.Errorf("cache size %q overflows", part)
 		}
 		sizes = append(sizes, v*mult)
 	}
@@ -262,6 +368,13 @@ func writeJSON(dir, name string, r expt.Renderer) error {
 // trace and profile.
 func printStats(env *expt.Env, w io.Writer) {
 	k := env.St.Kernel.Prog
+	// Walking the workloads applies each per-workload profile to the kernel's
+	// weight fields in turn; snapshot the active weights first and restore
+	// them after, so a stats run leaves the study's profile state untouched
+	// and experiments rendered alongside stats see the same weights they
+	// would alone.
+	snap := env.St.CaptureKernelProfile()
+	defer snap.Apply(k)
 	fmt.Fprintf(w, "==== stats ====\n")
 	fmt.Fprintf(w, "kernel: %d routines, %d basic blocks, %d KB code, %d dispatch points\n",
 		k.NumRoutines(), k.NumBlocks(), k.CodeSize()>>10, k.NumDispatch)
@@ -288,7 +401,10 @@ func dumpAllTraces(env *expt.Env, dir string, w io.Writer) error {
 	for _, d := range env.St.Data {
 		name := strings.ReplaceAll(d.Workload.Name, "/", "_") + ".trace"
 		path := filepath.Join(dir, name)
-		f, err := os.Create(path)
+		// Write via a temporary name and rename into place, so an aborted
+		// run never leaves a truncated trace under the final name.
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
 		if err != nil {
 			return err
 		}
@@ -296,7 +412,11 @@ func dumpAllTraces(env *expt.Env, dir string, w io.Writer) error {
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
 		if err != nil {
+			os.Remove(tmp)
 			return fmt.Errorf("writing %s: %w", path, err)
 		}
 		fmt.Fprintf(w, "[wrote %s: %d events, %d bytes]\n", path, d.Trace.NumEvents(), n)

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"oslayout/internal/expt"
 )
 
 func TestRunList(t *testing.T) {
@@ -48,6 +51,110 @@ func TestRunStatsAndExperiment(t *testing.T) {
 	for _, want := range []string{"==== stats ====", "kernel:", "==== table1 ====", "Executed OS Code", "[study built"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestStatsDoesNotPerturbExperiments is the regression test for the profile
+// state leak: printStats used to walk the per-workload profiles and leave
+// the last one applied, so experiments rendered after `stats` on the same
+// command line saw different kernel weights than they would alone.
+func TestStatsDoesNotPerturbExperiments(t *testing.T) {
+	var alone, combined, errb bytes.Buffer
+	if err := run([]string{"-refs", "120000", "table1"}, &alone, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-refs", "120000", "stats", "table1"}, &combined, &errb); err != nil {
+		t.Fatal(err)
+	}
+	const marker = "==== table1 ===="
+	idx := strings.Index(combined.String(), marker)
+	if idx < 0 {
+		t.Fatal("combined run did not render table1")
+	}
+	if got := combined.String()[idx:]; got != alone.String() {
+		t.Errorf("table1 after stats differs from table1 alone:\n--- alone ---\n%s--- after stats ---\n%s",
+			alone.String(), got)
+	}
+}
+
+// TestPrintStatsRestoresProfile checks the mechanism directly: the kernel's
+// weight fields are bit-identical before and after printStats.
+func TestPrintStatsRestoresProfile(t *testing.T) {
+	env, err := expt.NewEnv(expt.Options{OSRefs: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.St.UseAverageProfile(); err != nil {
+		t.Fatal(err)
+	}
+	k := env.St.Kernel.Prog
+	before := make([]uint64, k.NumBlocks())
+	for i := range k.Blocks {
+		before[i] = k.Blocks[i].Weight
+	}
+	printStats(env, io.Discard)
+	for i := range k.Blocks {
+		if k.Blocks[i].Weight != before[i] {
+			t.Fatalf("block %d weight changed from %d to %d across printStats",
+				i, before[i], k.Blocks[i].Weight)
+		}
+	}
+}
+
+// TestRunSubcommandRouting: subcommand words mixed into an experiment list
+// must be rejected with a routing error, not "unknown experiment".
+func TestRunSubcommandRouting(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"stats", "list"}, "only argument"},
+		{[]string{"list", "table1"}, "only argument"},
+		{[]string{"table1", "strategies"}, "only argument"},
+		{[]string{"-refs", "100000", "compare"}, "compare"},
+		{[]string{"table1", "compare"}, "must come first"},
+	} {
+		var out, errb bytes.Buffer
+		err := run(tc.args, &out, &errb)
+		if err == nil {
+			t.Errorf("args %v accepted, want routing error", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []int
+	}{
+		{"4k", []int{4 << 10}},
+		{"8192", []int{8192}},
+		{"1m", []int{1 << 20}},
+		{"2M,4k", []int{2 << 20, 4 << 10}},
+	} {
+		got, err := parseSizes(tc.in)
+		if err != nil {
+			t.Errorf("parseSizes(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseSizes(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseSizes(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+	for _, in := range []string{"0", "-4k", "4q", "", "99999999999999m", "9999999999999999999"} {
+		if _, err := parseSizes(in); err == nil {
+			t.Errorf("parseSizes(%q) accepted, want error", in)
 		}
 	}
 }
@@ -169,6 +276,122 @@ func TestRunCompare(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRunReportManifest drives the -report flag end to end and checks the
+// manifest has the keys downstream tooling relies on: phase timings, result
+// digests, and per-set conflict histograms.
+func TestRunReportManifest(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if err := run([]string{"-refs", "120000", "-report", dir, "table1", "stats"}, &out, &errb); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Command string            `json:"command"`
+		Flags   map[string]string `json:"flags"`
+		Seed    int64             `json:"seed"`
+		Refs    uint64            `json:"refs"`
+		Phases  []struct {
+			Name   string  `json:"name"`
+			Millis float64 `json:"ms"`
+		} `json:"phases"`
+		Counters           map[string]uint64 `json:"counters"`
+		ReplayEventsPerSec float64           `json:"replay_events_per_sec"`
+		Results            map[string]string `json:"results"`
+		Conflicts          []struct {
+			Workload  string   `json:"workload"`
+			SetMisses []uint64 `json:"set_misses"`
+			Windows   []struct {
+				Refs   uint64 `json:"refs"`
+				Misses uint64 `json:"misses"`
+			} `json:"windows"`
+			TopPairs []struct {
+				Victim  string `json:"victim"`
+				Evictor string `json:"evictor"`
+				Count   uint64 `json:"count"`
+			} `json:"top_pairs"`
+		} `json:"conflicts"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest.json invalid: %v", err)
+	}
+	if m.Seed != 1995 || m.Refs != 120000 {
+		t.Errorf("manifest seed/refs = %d/%d, want 1995/120000", m.Seed, m.Refs)
+	}
+	if !strings.Contains(m.Command, "table1") || m.Flags["refs"] != "120000" {
+		t.Errorf("manifest command/flags wrong: %q %v", m.Command, m.Flags)
+	}
+	for _, res := range []string{"table1", "stats"} {
+		if len(m.Results[res]) != 64 {
+			t.Errorf("manifest missing %s result digest", res)
+		}
+	}
+	phase := map[string]bool{}
+	for _, p := range m.Phases {
+		phase[p.Name] = true
+	}
+	for _, want := range []string{"study.build", "kernel.synthesis", "layout.base", "report.conflicts"} {
+		if !phase[want] {
+			t.Errorf("manifest phases missing %q (have %v)", want, m.Phases)
+		}
+	}
+	if m.Counters["replay.events"] == 0 || m.ReplayEventsPerSec <= 0 {
+		t.Errorf("manifest has no replay throughput: %v", m.Counters)
+	}
+	if len(m.Conflicts) != 4 {
+		t.Fatalf("manifest has %d conflict reports, want one per workload", len(m.Conflicts))
+	}
+	for _, c := range m.Conflicts {
+		var misses uint64
+		for _, v := range c.SetMisses {
+			misses += v
+		}
+		if len(c.SetMisses) == 0 || misses == 0 {
+			t.Errorf("%s: empty per-set conflict histogram", c.Workload)
+		}
+		if len(c.Windows) == 0 {
+			t.Errorf("%s: no miss-rate time series", c.Workload)
+		}
+		if len(c.TopPairs) == 0 || c.TopPairs[0].Victim == "" {
+			t.Errorf("%s: top conflict pairs missing or unresolved", c.Workload)
+		}
+	}
+}
+
+// TestRunCompareDetail drives compare -detail with a manifest and checks the
+// conflict attribution rendering.
+func TestRunCompareDetail(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	err := run([]string{"compare", "-refs", "100000", "-detail",
+		"-strategies", "base,opts", "-sizes", "4k", "-report", dir}, &out, &errb)
+	if err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Conflict attribution", "cold", "self", "cross", "top4", "worst"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("compare -detail output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Results map[string]string `json:"results"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest.json invalid: %v", err)
+	}
+	if len(m.Results["compare"]) != 64 {
+		t.Error("compare manifest missing result digest")
 	}
 }
 

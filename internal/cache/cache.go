@@ -191,6 +191,10 @@ type Cache struct {
 	access func(line uint64, d trace.Domain) MissClass
 	// rng is the xorshift state for random replacement.
 	rng uint64
+	// onEvict, when set, observes every eviction. It sits on the miss path
+	// only (never on the per-access hot path), so the nil default costs one
+	// predictable branch per eviction and nothing per hit.
+	onEvict func(victimLine uint64, set int, evictor trace.Domain)
 	// useMask, when utilization tracking is enabled, holds one bit per
 	// word of each resident line, parallel to ways.
 	useMask []uint64
@@ -471,9 +475,19 @@ func (c *Cache) classifyMiss(line uint64, d trace.Domain) MissClass {
 	}
 }
 
+// SetEvictionHook installs an observer invoked on every eviction with the
+// displaced line, its set, and the domain whose fetch displaced it. Install
+// before any access; pass nil to remove.
+func (c *Cache) SetEvictionHook(h func(victimLine uint64, set int, evictor trace.Domain)) {
+	c.onEvict = h
+}
+
 // recordEviction stores the evictor's domain for the displaced line in slot
 // and accumulates utilization statistics when tracking is enabled.
 func (c *Cache) recordEviction(victimLine uint64, slot int, d trace.Domain) {
+	if c.onEvict != nil {
+		c.onEvict(victimLine, slot/c.assoc, d)
+	}
 	ev := lineEvictedByOS
 	if d == trace.DomainApp {
 		ev = lineEvictedByApp

@@ -6,7 +6,9 @@ import (
 
 	"oslayout/internal/cache"
 	"oslayout/internal/layout"
+	"oslayout/internal/obs"
 	"oslayout/internal/strategy"
+	"oslayout/internal/trace"
 )
 
 // Compare evaluates an arbitrary set of registered layout strategies over
@@ -22,7 +24,23 @@ type Compare struct {
 	Workloads  []string
 	// Rates[s][w][k]: total miss rate at size s, workload w, strategy k.
 	Rates [][][]float64
+	// Attr[s][w][k] is the conflict attribution for the same cell; nil
+	// unless the comparison ran in detail mode.
+	Attr [][][]*Attribution
 }
+
+// Attribution decomposes one grid cell's misses: the cold/self/cross split,
+// how concentrated the conflicts are (share of misses in the 4 hottest
+// sets), and the single worst (victim, evictor) conflict pair resolved to
+// routine names.
+type Attribution struct {
+	Cold, Self, Cross float64 // miss-rate contributions, in [0,1]
+	TopSetShare       float64 // fraction of misses in the 4 hottest sets
+	TopPair           string  // "victim<-evictor (n)" or "" when conflict-free
+}
+
+// topSetsShown is how many hottest sets TopSetShare aggregates over.
+const topSetsShown = 4
 
 // RunCompare builds each strategy (once for size-independent strategies,
 // per size otherwise) and evaluates the full grid. Layout construction is
@@ -30,6 +48,14 @@ type Compare struct {
 // cache sizes sharing a (trace, layout) pair through the single-pass engine
 // and runs the batches in parallel.
 func (e *Env) RunCompare(strategies []string, sizes []int, line, assoc int) (*Compare, error) {
+	return e.RunCompareDetail(strategies, sizes, line, assoc, false)
+}
+
+// RunCompareDetail is RunCompare with optional conflict attribution: in
+// detail mode every replay carries a SimStats observer and each grid cell
+// additionally reports its cold/self/cross decomposition, set-conflict
+// concentration and worst conflicting routine pair.
+func (e *Env) RunCompareDetail(strategies []string, sizes []int, line, assoc int, detail bool) (*Compare, error) {
 	if len(strategies) == 0 {
 		return nil, fmt.Errorf("expt: compare needs at least one strategy")
 	}
@@ -75,6 +101,15 @@ func (e *Env) RunCompare(strategies []string, sizes []int, line, assoc int) (*Co
 			c.Rates[si][wi] = make([]float64, len(strategies))
 		}
 	}
+	if detail {
+		c.Attr = make([][][]*Attribution, len(sizes))
+		for si := range sizes {
+			c.Attr[si] = make([][]*Attribution, nw)
+			for wi := 0; wi < nw; wi++ {
+				c.Attr[si][wi] = make([]*Attribution, len(strategies))
+			}
+		}
+	}
 
 	// One task per (workload, strategy): size-independent strategies ride
 	// all sizes on one trace replay; size-dependent ones get one task per
@@ -105,12 +140,31 @@ func (e *Env) RunCompare(strategies []string, sizes []int, line, assoc int) (*Co
 		for i, si := range tk.sis {
 			cfgs[i] = cache.Config{Size: sizes[si], Line: line, Assoc: assoc}
 		}
-		ress, err := e.EvalMany(tk.wi, layoutsBySize[tk.sis[0]][tk.k], nil, cfgs)
+		osL := layoutsBySize[tk.sis[0]][tk.k]
+		var observers []obs.Observer
+		var stats []*obs.SimStats
+		if detail {
+			observers = make([]obs.Observer, len(cfgs))
+			stats = make([]*obs.SimStats, len(cfgs))
+			for i := range cfgs {
+				s := obs.NewSimStats(0)
+				observers[i] = s
+				stats[i] = s
+			}
+		}
+		ress, err := e.EvalManyObserved(tk.wi, osL, nil, cfgs, observers)
 		if err != nil {
 			return err
 		}
+		var resolver *obs.LineResolver
+		if detail {
+			resolver = obs.NewLineResolver(line, osL)
+		}
 		for i, si := range tk.sis {
 			c.Rates[si][tk.wi][tk.k] = ress[i].Stats.MissRate()
+			if detail {
+				c.Attr[si][tk.wi][tk.k] = attribute(&ress[i].Stats, stats[i], resolver, line)
+			}
 		}
 		return nil
 	})
@@ -118,6 +172,33 @@ func (e *Env) RunCompare(strategies []string, sizes []int, line, assoc int) (*Co
 		return nil, err
 	}
 	return c, nil
+}
+
+// attribute condenses one observed replay into an Attribution.
+func attribute(st *cache.Stats, s *obs.SimStats, r *obs.LineResolver, lineSize int) *Attribution {
+	a := &Attribution{TopSetShare: s.TopSetsShare(topSetsShown)}
+	if refs := st.TotalRefs(); refs > 0 {
+		a.Cold = float64(st.Cold[0]+st.Cold[1]) / float64(refs)
+		a.Self = float64(st.Self[0]+st.Self[1]) / float64(refs)
+		a.Cross = float64(st.Cross[0]+st.Cross[1]) / float64(refs)
+	}
+	if ps := s.TopPairs(1); len(ps) > 0 {
+		a.TopPair = fmt.Sprintf("%s<-%s (%d)",
+			lineName(r, lineSize, ps[0].VictimLine),
+			lineName(r, lineSize, ps[0].EvictorLine), ps[0].Count)
+	}
+	return a
+}
+
+// lineName resolves a line address to a routine name. Lines in the
+// application image (placed at AppBase, far above the kernel) are labelled
+// "app": the comparison grid varies only the kernel layout, so application
+// conflicts are reported in aggregate.
+func lineName(r *obs.LineResolver, lineSize int, line uint64) string {
+	if line*uint64(lineSize) >= trace.AppBase {
+		return "app"
+	}
+	return r.Owner(line)
 }
 
 // Render formats the grid as one table per cache size.
@@ -140,6 +221,30 @@ func (c *Compare) Render() string {
 				fmt.Fprintf(&sb, " %7.2f%%", 100*c.Rates[si][wi][k])
 			}
 			sb.WriteString("\n")
+		}
+	}
+	if c.Attr != nil {
+		fmt.Fprintf(&sb, "\nConflict attribution (miss-rate split; top%d = miss share of the %d hottest sets)\n",
+			topSetsShown, topSetsShown)
+		for si, size := range c.Sizes {
+			label := fmt.Sprintf("%dKB", size>>10)
+			if size%(1<<10) != 0 {
+				label = fmt.Sprintf("%dB", size)
+			}
+			for wi, w := range c.Workloads {
+				for k, s := range c.Strategies {
+					a := c.Attr[si][wi][k]
+					if a == nil {
+						continue
+					}
+					fmt.Fprintf(&sb, "  %-7s %-12s %-8s cold %5.2f%% self %5.2f%% cross %5.2f%%  top%d %4.0f%%",
+						label, w, s, 100*a.Cold, 100*a.Self, 100*a.Cross, topSetsShown, 100*a.TopSetShare)
+					if a.TopPair != "" {
+						fmt.Fprintf(&sb, "  worst %s", a.TopPair)
+					}
+					sb.WriteString("\n")
+				}
+			}
 		}
 	}
 	return sb.String()

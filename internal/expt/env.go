@@ -6,12 +6,14 @@ package expt
 
 import (
 	"fmt"
+	"time"
 
 	"oslayout"
 	"oslayout/internal/cache"
 	"oslayout/internal/cfa"
 	"oslayout/internal/core"
 	"oslayout/internal/layout"
+	"oslayout/internal/obs"
 	"oslayout/internal/simulate"
 	"oslayout/internal/strategy"
 )
@@ -27,6 +29,10 @@ type Options struct {
 	OSRefs uint64
 	// KernelSeed overrides the kernel generation seed (default 1995).
 	KernelSeed int64
+	// Recorder, when non-nil, receives phase timings (study build, layout
+	// construction) and replay throughput counters from every experiment
+	// run in this environment.
+	Recorder *obs.Recorder
 }
 
 // Env is the shared environment of all experiments: one study plus the
@@ -37,6 +43,7 @@ type Options struct {
 type Env struct {
 	St *oslayout.Study
 
+	rec     *obs.Recorder
 	layouts *strategy.Cache
 	loops   []cfa.Loop
 	// results memoizes experiment outputs by registry memo key, so
@@ -53,16 +60,22 @@ func NewEnv(opt Options) (*Env, error) {
 	if opt.KernelSeed != 0 {
 		kcfg.Seed = opt.KernelSeed
 	}
+	done := opt.Recorder.Span("study.build")
 	st, err := oslayout.NewStudy(oslayout.StudyOptions{
-		Kernel: kcfg,
-		Trace:  oslayout.TraceOptions{OSRefs: opt.OSRefs},
+		Kernel:   kcfg,
+		Trace:    oslayout.TraceOptions{OSRefs: opt.OSRefs},
+		Recorder: opt.Recorder,
 	})
+	done()
 	if err != nil {
 		return nil, err
 	}
+	layouts := strategy.NewCache(st)
+	layouts.SetRecorder(opt.Recorder)
 	return &Env{
 		St:      st,
-		layouts: strategy.NewCache(st),
+		rec:     opt.Recorder,
+		layouts: layouts,
 		results: make(map[string]Renderer),
 	}, nil
 }
@@ -158,7 +171,12 @@ func (e *Env) AppOpt(i int, cacheSize int, osPlan *oslayout.Plan) (*layout.Layou
 
 // Eval simulates workload i under the given layouts and cache.
 func (e *Env) Eval(i int, osL, appL *layout.Layout, cfg cache.Config) (*simulate.Result, error) {
-	return e.St.Evaluate(i, osL, appL, cfg)
+	start := time.Now()
+	r, err := e.St.Evaluate(i, osL, appL, cfg)
+	if err == nil {
+		e.rec.AddReplay(uint64(len(e.St.Data[i].Trace.Events)), time.Since(start))
+	}
+	return r, err
 }
 
 // EvalMany simulates workload i under the given layouts across many cache
@@ -166,7 +184,22 @@ func (e *Env) Eval(i int, osL, appL *layout.Layout, cfg cache.Config) (*simulate
 // their grid points through this so parallelism (parEach) is across
 // trace-sharing batches rather than redundant replays.
 func (e *Env) EvalMany(i int, osL, appL *layout.Layout, cfgs []cache.Config) ([]*simulate.Result, error) {
-	return e.St.EvaluateMany(i, osL, appL, cfgs)
+	start := time.Now()
+	rs, err := e.St.EvaluateMany(i, osL, appL, cfgs)
+	if err == nil {
+		e.rec.AddReplay(uint64(len(e.St.Data[i].Trace.Events)), time.Since(start))
+	}
+	return rs, err
+}
+
+// EvalManyObserved is EvalMany with optional per-configuration observers.
+func (e *Env) EvalManyObserved(i int, osL, appL *layout.Layout, cfgs []cache.Config, observers []obs.Observer) ([]*simulate.Result, error) {
+	start := time.Now()
+	rs, err := e.St.EvaluateManyObserved(i, osL, appL, cfgs, observers)
+	if err == nil {
+		e.rec.AddReplay(uint64(len(e.St.Data[i].Trace.Events)), time.Since(start))
+	}
+	return rs, err
 }
 
 // Workloads returns the workload names.

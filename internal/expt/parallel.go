@@ -6,10 +6,12 @@ import (
 )
 
 // parEach runs f(0..n-1) concurrently, bounded by GOMAXPROCS workers, and
-// returns the first error. Cache simulations are pure (each run builds its
-// own cache and only reads the shared trace, layout and program), so the
-// sweep experiments fan their grid points out across cores. Plan and layout
-// CONSTRUCTION is not parallel-safe — it mutates the kernel program's
+// returns the error of the LOWEST failing index — the same error a
+// sequential loop would return — so a failing sweep reports deterministically
+// regardless of worker scheduling. Cache simulations are pure (each run
+// builds its own cache and only reads the shared trace, layout and program),
+// so the sweep experiments fan their grid points out across cores. Plan and
+// layout CONSTRUCTION is not parallel-safe — it mutates the kernel program's
 // weight fields — so callers build all layouts first, then evaluate in
 // parallel.
 func parEach(n int, f func(i int) error) error {
@@ -26,24 +28,30 @@ func parEach(n int, f func(i int) error) error {
 		return nil
 	}
 	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-		next  int
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		first   error
+		failIdx int = n
+		next    int
 	)
+	// Tasks are handed out in index order and hand-out stops at the lowest
+	// failing index seen so far, so every index below the globally lowest
+	// failure is guaranteed to run: the recorded (failIdx, first) pair is
+	// exactly what a sequential loop would have stopped on.
 	grab := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if first != nil || next >= n {
+		if next >= n || next >= failIdx {
 			return 0, false
 		}
 		i := next
 		next++
 		return i, true
 	}
-	fail := func(err error) {
+	fail := func(i int, err error) {
 		mu.Lock()
-		if first == nil {
+		if i < failIdx {
+			failIdx = i
 			first = err
 		}
 		mu.Unlock()
@@ -58,8 +66,7 @@ func parEach(n int, f func(i int) error) error {
 					return
 				}
 				if err := f(i); err != nil {
-					fail(err)
-					return
+					fail(i, err)
 				}
 			}
 		}()

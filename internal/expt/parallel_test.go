@@ -1,12 +1,65 @@
 package expt
 
 import (
+	"errors"
 	"reflect"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"oslayout/internal/cache"
 )
+
+// TestParEachLowestError injects failures at two indices and asserts parEach
+// returns the error of the lowest failing index — the sequential answer —
+// regardless of worker scheduling, and that every index below that failure
+// was still executed.
+func TestParEachLowestError(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		old := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+	errLo := errors.New("low-index failure")
+	errHi := errors.New("high-index failure")
+	const n = 64
+	for round := 0; round < 25; round++ {
+		var ran [n]int32
+		err := parEach(n, func(i int) error {
+			atomic.StoreInt32(&ran[i], 1)
+			switch i {
+			case 11:
+				// Delay so the high-index failure is usually recorded first:
+				// the result must not depend on completion order.
+				time.Sleep(200 * time.Microsecond)
+				return errLo
+			case 40:
+				return errHi
+			}
+			return nil
+		})
+		if err != errLo {
+			t.Fatalf("round %d: parEach returned %v, want the lowest failing index's error %v", round, err, errLo)
+		}
+		for i := 0; i < 11; i++ {
+			if atomic.LoadInt32(&ran[i]) != 1 {
+				t.Fatalf("round %d: index %d below the failure never ran", round, i)
+			}
+		}
+	}
+
+	// No failure: every index runs exactly once.
+	var count int32
+	if err := parEach(n, func(i int) error {
+		atomic.AddInt32(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("ran %d tasks, want %d", count, n)
+	}
+}
 
 // TestBatchedSweepParallelDeterminism sweeps a multi-configuration grid
 // through the batched engine under parEach with GOMAXPROCS > 1, twice, and

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Manifest is the machine-readable record of one CLI run: what was asked
+// for, how long each phase took, a digest of every rendered result (so runs
+// can be diffed without storing full outputs), and the conflict attribution
+// of the replayed workloads. The CLI's -report flag writes it as
+// manifest.json.
+type Manifest struct {
+	// Command is the invocation being recorded.
+	Command string `json:"command"`
+	// Flags records the effective flag values.
+	Flags map[string]string `json:"flags"`
+	// Seed and Refs pin the study's reproducibility inputs.
+	Seed int64  `json:"seed"`
+	Refs uint64 `json:"refs"`
+	// Phases are the recorder's completed spans in completion order.
+	Phases []Phase `json:"phases"`
+	// Counters are the recorder's raw counters.
+	Counters map[string]uint64 `json:"counters"`
+	// ReplayEventsPerSec is the aggregate replay throughput.
+	ReplayEventsPerSec float64 `json:"replay_events_per_sec"`
+	// Results maps each rendered result name to the SHA-256 hex digest of
+	// its rendered text.
+	Results map[string]string `json:"results"`
+	// Conflicts holds per-workload conflict attribution summaries.
+	Conflicts []ConflictReport `json:"conflicts,omitempty"`
+}
+
+// ConflictReport summarises one observed replay: where the misses of one
+// workload under one layout and cache configuration went.
+type ConflictReport struct {
+	Workload string  `json:"workload"`
+	Layout   string  `json:"layout"`
+	Config   string  `json:"config"`
+	MissRate float64 `json:"miss_rate"`
+	// Cold/Self/Cross decompose the misses by eviction provenance.
+	Cold  uint64 `json:"cold"`
+	Self  uint64 `json:"self"`
+	Cross uint64 `json:"cross"`
+	// SetMisses is the per-set conflict histogram.
+	SetMisses []uint64 `json:"set_misses"`
+	// TopSets are the most-conflicting sets.
+	TopSets []SetCount `json:"top_sets"`
+	// TopPairs are the most frequent conflict pairs, with the owning
+	// routines resolved when a resolver was supplied.
+	TopPairs []PairReport `json:"top_pairs"`
+	// Windows is the miss-rate time series over the trace.
+	Windows []Window `json:"windows"`
+}
+
+// PairReport is a PairCount with the owning routines resolved to names.
+type PairReport struct {
+	PairCount
+	Victim  string `json:"victim"`
+	Evictor string `json:"evictor"`
+}
+
+// NewConflictReport assembles a report from a completed SimStats. resolve
+// maps a line address to the owning routine's name; nil leaves names empty.
+// topN bounds the pair and set lists.
+func NewConflictReport(workload, layout string, s *SimStats, missRate float64, resolve func(uint64) string, topN int) ConflictReport {
+	cold, self, cross := s.Provenance()
+	rep := ConflictReport{
+		Workload:  workload,
+		Layout:    layout,
+		Config:    s.Config.String(),
+		MissRate:  missRate,
+		Cold:      cold,
+		Self:      self,
+		Cross:     cross,
+		SetMisses: s.SetMisses,
+		TopSets:   s.TopSets(topN),
+		Windows:   s.Windows,
+	}
+	for _, p := range s.TopPairs(topN) {
+		pr := PairReport{PairCount: p}
+		if resolve != nil {
+			pr.Victim = resolve(p.VictimLine)
+			pr.Evictor = resolve(p.EvictorLine)
+		}
+		rep.TopPairs = append(rep.TopPairs, pr)
+	}
+	return rep
+}
+
+// Digest returns the SHA-256 hex digest of a rendered result.
+func Digest(rendered string) string {
+	sum := sha256.Sum256([]byte(rendered))
+	return hex.EncodeToString(sum[:])
+}
+
+// Write stores the manifest as <dir>/manifest.json, creating dir if needed.
+// The file is written via a temporary name and renamed into place so a
+// failed write never leaves a truncated manifest behind.
+func (m *Manifest) Write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshalling manifest: %w", err)
+	}
+	data = append(data, '\n')
+	f, err := os.CreateTemp(dir, "manifest-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: writing manifest: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "manifest.json")); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase is one completed named span.
+type Phase struct {
+	Name string `json:"name"`
+	// Millis is the span's wall-clock duration in milliseconds.
+	Millis float64 `json:"ms"`
+}
+
+// Recorder collects scoped spans and monotonic counters across the
+// pipeline: study build, trace generation, per-strategy layout
+// construction, replay throughput. It is safe for concurrent use (sweep
+// replays run under parEach), and every method is nil-receiver safe so
+// instrumented call sites need no branches — a nil *Recorder records
+// nothing.
+type Recorder struct {
+	mu       sync.Mutex
+	phases   []Phase
+	counters map[string]uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{counters: make(map[string]uint64)}
+}
+
+// Span starts a named span and returns the function that ends it; the
+// phase is recorded at end time, in completion order.
+func (r *Recorder) Span(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		r.mu.Lock()
+		r.phases = append(r.phases, Phase{Name: name, Millis: float64(d.Nanoseconds()) / 1e6})
+		r.mu.Unlock()
+	}
+}
+
+// Add accumulates delta into the named counter.
+func (r *Recorder) Add(name string, delta uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// AddReplay records one trace replay: events processed and the wall-clock
+// nanoseconds it took. EventsPerSec reads these back as throughput.
+func (r *Recorder) AddReplay(events uint64, elapsed time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters["replay.events"] += events
+	r.counters["replay.nanos"] += uint64(elapsed.Nanoseconds())
+	r.mu.Unlock()
+}
+
+// Phases returns a copy of the completed spans in completion order.
+func (r *Recorder) Phases() []Phase {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Phase, len(r.phases))
+	copy(out, r.phases)
+	return out
+}
+
+// Counters returns a copy of the counters.
+func (r *Recorder) Counters() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// EventsPerSec returns the aggregate replay throughput recorded via
+// AddReplay, in trace events per second of replay wall-clock (summed over
+// concurrent replays), or 0 when none were recorded.
+func (r *Recorder) EventsPerSec() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ns := r.counters["replay.nanos"]
+	if ns == 0 {
+		return 0
+	}
+	return float64(r.counters["replay.events"]) / (float64(ns) / 1e9)
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sort"
+
+	"oslayout/internal/layout"
+	"oslayout/internal/program"
+)
+
+// LineResolver maps cache-line addresses back to the routines that own them
+// under a set of layouts — how the reporting layers turn "line 0x3f2
+// conflicts with line 0x7f2" into "routine A conflicts with routine B".
+type LineResolver struct {
+	lineSize uint64
+	starts   []uint64
+	names    []string
+}
+
+// NewLineResolver indexes the given layouts (typically the OS layout, plus
+// the application layout when the workload has one) for line-address
+// lookups under the given line size.
+func NewLineResolver(lineSize int, layouts ...*layout.Layout) *LineResolver {
+	r := &LineResolver{lineSize: uint64(lineSize)}
+	for _, l := range layouts {
+		if l == nil {
+			continue
+		}
+		for b, addr := range l.Addr {
+			r.starts = append(r.starts, addr)
+			r.names = append(r.names, l.Prog.RoutineOf(program.BlockID(b)).Name)
+		}
+	}
+	sort.Sort(byStart{r})
+	return r
+}
+
+// Owner returns the name of the routine whose code contains the given line
+// address. A line starting in inter-block padding is attributed to the
+// closest preceding block; a line below every block resolves to "?".
+func (r *LineResolver) Owner(line uint64) string {
+	addr := line * r.lineSize
+	i := sort.Search(len(r.starts), func(i int) bool { return r.starts[i] > addr })
+	if i == 0 {
+		return "?"
+	}
+	return r.names[i-1]
+}
+
+// byStart sorts the resolver's parallel slices by start address.
+type byStart struct{ r *LineResolver }
+
+func (s byStart) Len() int { return len(s.r.starts) }
+func (s byStart) Less(i, j int) bool {
+	return s.r.starts[i] < s.r.starts[j]
+}
+func (s byStart) Swap(i, j int) {
+	s.r.starts[i], s.r.starts[j] = s.r.starts[j], s.r.starts[i]
+	s.r.names[i], s.r.names[j] = s.r.names[j], s.r.names[i]
+}

@@ -1,0 +1,150 @@
+package simulate
+
+import (
+	"reflect"
+	"testing"
+
+	"oslayout/internal/cache"
+	"oslayout/internal/obs"
+)
+
+// TestRunManyObserverNeutrality is the observer-neutrality guard: across
+// the mixed 11-config equivalence grid, RunMany with a recording observer
+// on every configuration and RunMany with nil observers must produce
+// bit-identical Results — observation may only read, never perturb. The
+// cases also cover partial attachment (only some configs observed) and the
+// single-config RunObserved wrapper.
+func TestRunManyObserverNeutrality(t *testing.T) {
+	tr, osL, appL := mixedTrace(30_000, 42)
+	plain, err := RunMany(tr, osL, appL, equivalenceGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		attach func(i int) obs.Observer
+	}{
+		{"all-observed", func(i int) obs.Observer { return obs.NewSimStats(16) }},
+		{"every-other", func(i int) obs.Observer {
+			if i%2 == 0 {
+				return obs.NewSimStats(8)
+			}
+			return nil
+		}},
+		{"single", func(i int) obs.Observer {
+			if i == 3 {
+				return obs.NewSimStats(0)
+			}
+			return nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			observers := make([]obs.Observer, len(equivalenceGrid))
+			stats := make([]*obs.SimStats, len(equivalenceGrid))
+			for i := range observers {
+				o := tc.attach(i)
+				observers[i] = o
+				if o != nil {
+					stats[i] = o.(*obs.SimStats)
+				}
+			}
+			observed, err := RunManyObserved(tr, osL, appL, equivalenceGrid, observers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, cfg := range equivalenceGrid {
+				if !reflect.DeepEqual(plain[i], observed[i]) {
+					t.Errorf("%v: observed result differs from plain RunMany\n  plain:    %+v\n  observed: %+v",
+						cfg, plain[i].Stats, observed[i].Stats)
+				}
+				s := stats[i]
+				if s == nil {
+					continue
+				}
+				// The observer's own books must agree with the result.
+				if got, want := s.TotalMisses(), plain[i].Stats.TotalMisses(); got != want {
+					t.Errorf("%v: observer counted %d misses, result has %d", cfg, got, want)
+				}
+				cold, self, cross := s.Provenance()
+				st := &plain[i].Stats
+				if cold != st.Cold[0]+st.Cold[1] || self != st.Self[0]+st.Self[1] || cross != st.Cross[0]+st.Cross[1] {
+					t.Errorf("%v: observer provenance %d/%d/%d, result %v/%v/%v",
+						cfg, cold, self, cross, st.Cold, st.Self, st.Cross)
+				}
+				var winRefs, winMisses uint64
+				for _, w := range s.Windows {
+					winRefs += w.Refs
+					winMisses += w.Misses
+				}
+				if winRefs != st.TotalRefs() || winMisses != st.TotalMisses() {
+					t.Errorf("%v: windowed series sums to %d refs/%d misses, result has %d/%d",
+						cfg, winRefs, winMisses, st.TotalRefs(), st.TotalMisses())
+				}
+				var occ uint64
+				for _, n := range s.SetOccupancy {
+					occ += uint64(n)
+				}
+				if occ == 0 {
+					t.Errorf("%v: observer saw no set occupancy", cfg)
+				}
+				if s.Evictions > 0 && len(s.TopPairs(5)) == 0 {
+					t.Errorf("%v: %d evictions but no conflict pairs", cfg, s.Evictions)
+				}
+			}
+		})
+	}
+
+	// RunObserved must match Run on the reference configuration.
+	for _, cfg := range equivalenceGrid[:3] {
+		one, err := Run(tr, osL, appL, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob := obs.NewSimStats(0)
+		got, err := RunObserved(tr, osL, appL, cfg, ob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(one, got) {
+			t.Errorf("%v: RunObserved differs from Run", cfg)
+		}
+		if ob.TotalMisses() != one.Stats.TotalMisses() {
+			t.Errorf("%v: RunObserved observer misses %d, want %d", cfg, ob.TotalMisses(), one.Stats.TotalMisses())
+		}
+	}
+}
+
+func TestRunManyObservedValidation(t *testing.T) {
+	tr, osL := conflictTrace(4)
+	cfgs := []cache.Config{{Size: 64, Line: 32, Assoc: 1}}
+	if _, err := RunManyObserved(tr, osL, nil, cfgs, make([]obs.Observer, 2)); err == nil {
+		t.Error("mismatched observer count accepted")
+	}
+}
+
+// BenchmarkRunManyNilObserver is the regression guard for the nil-observer
+// fast path: a Figure 15/17-style mixed grid driven with observers
+// explicitly nil. Compare across commits — any growth here is observer
+// gating leaking onto the unobserved hot path. (The root package's
+// BenchmarkRunMany guards the same property on the paper's Shell trace.)
+func BenchmarkRunManyNilObserver(b *testing.B) {
+	tr, osL, appL := mixedTrace(200_000, 7)
+	grid := []cache.Config{
+		{Size: 1 << 10, Line: 32, Assoc: 1},
+		{Size: 2 << 10, Line: 32, Assoc: 1},
+		{Size: 4 << 10, Line: 32, Assoc: 1},
+		{Size: 8 << 10, Line: 32, Assoc: 1},
+		{Size: 16 << 10, Line: 32, Assoc: 1},
+		{Size: 8 << 10, Line: 32, Assoc: 2},
+		{Size: 8 << 10, Line: 64, Assoc: 1},
+		{Size: 8 << 10, Line: 16, Assoc: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunManyObserved(tr, osL, appL, grid, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

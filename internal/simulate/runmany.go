@@ -1,11 +1,13 @@
 package simulate
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
 
 	"oslayout/internal/cache"
 	"oslayout/internal/layout"
+	"oslayout/internal/obs"
 	"oslayout/internal/program"
 	"oslayout/internal/trace"
 )
@@ -17,10 +19,12 @@ type lineSpan struct {
 }
 
 // runner pairs one cache's hoisted access function with its result
-// accumulators.
+// accumulators. obs is non-nil only on the observed drive path; the
+// unobserved driveGroup never reads it.
 type runner struct {
 	access func(uint64, trace.Domain) cache.MissClass
 	res    *Result
+	obs    obs.Observer
 }
 
 // RunMany is the single-pass multi-configuration engine: where repeated Run
@@ -34,8 +38,42 @@ type runner struct {
 // config in order, each bit-identical to the one the equivalent Run call
 // produces. appL may be nil when the trace has no application.
 func RunMany(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config) ([]*Result, error) {
+	return RunManyObserved(t, osL, appL, cfgs, nil)
+}
+
+// RunObserved is Run with an attached observer: the replay additionally
+// reports every trace event, classified miss and eviction to o, from which
+// collectors like obs.SimStats derive per-set conflict histograms,
+// provenance breakdowns, windowed miss-rate series and conflicting line
+// pairs. The returned Result is bit-identical to Run's.
+func RunObserved(t *trace.Trace, osL, appL *layout.Layout, cfg cache.Config, o obs.Observer) (*Result, error) {
+	ress, err := RunManyObserved(t, osL, appL, []cache.Config{cfg}, []obs.Observer{o})
+	if err != nil {
+		return nil, err
+	}
+	return ress[0], nil
+}
+
+// RunManyObserved is RunMany with optional per-configuration observers:
+// observers[i] (which may be nil) watches cfgs[i]'s replay. Observation is
+// gated at group-setup time — a group whose configurations carry no
+// observer runs through exactly the unobserved drive loop, so the nil case
+// stays bit-identical and pays nothing per access. Observed groups keep the
+// repeat-elision and inclusion-chain fast paths: both elide only hits,
+// which change no state, so every miss-derived metric the observers see is
+// exact. observers must be nil or match cfgs in length.
+func RunManyObserved(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, observers []obs.Observer) ([]*Result, error) {
+	if observers != nil && len(observers) != len(cfgs) {
+		return nil, fmt.Errorf("simulate: %d observers for %d configs", len(observers), len(cfgs))
+	}
 	if err := checkLayouts(t, osL, appL); err != nil {
 		return nil, err
+	}
+	obsAt := func(i int) obs.Observer {
+		if observers == nil {
+			return nil
+		}
+		return observers[i]
 	}
 	results := make([]*Result, len(cfgs))
 	caches := make([]*cache.Cache, len(cfgs))
@@ -52,7 +90,13 @@ func RunMany(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config) ([]*
 		return results, nil
 	}
 
-	stream, refsTotal := resolveEvents(t)
+	stream, refsTotal, refsTab := resolveEvents(t)
+	for i := range cfgs {
+		if o := obsAt(i); o != nil {
+			o.Begin(cfgs[i], len(stream))
+			caches[i].SetEvictionHook(o.Evict)
+		}
+	}
 
 	// Group configs by line size: caches sharing a line size see the exact
 	// same line-access sequence, so they share one span table and one pass
@@ -87,11 +131,23 @@ func RunMany(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config) ([]*
 		mkRunners := func(idx []int) []runner {
 			rs := make([]runner, len(idx))
 			for k, i := range idx {
-				rs[k] = runner{caches[i].AccessFunc(), results[i]}
+				rs[k] = runner{caches[i].AccessFunc(), results[i], obsAt(i)}
 			}
 			return rs
 		}
-		driveGroup(stream, spans, mkRunners(chainIdx), mkRunners(restIdx))
+		// Gate observation per line-size group: only a group that actually
+		// carries an observer takes the observed drive loop.
+		var watchers []obs.Observer
+		for _, i := range byLine[ls] {
+			if o := obsAt(i); o != nil {
+				watchers = append(watchers, o)
+			}
+		}
+		if watchers == nil {
+			driveGroup(stream, spans, mkRunners(chainIdx), mkRunners(restIdx))
+		} else {
+			driveGroupObserved(stream, spans, refsTab, mkRunners(chainIdx), mkRunners(restIdx), watchers)
+		}
 	}
 
 	for i := range results {
@@ -108,8 +164,9 @@ const eventDomainShift = 31
 
 // resolveEvents decodes the trace once: markers are dropped, and each block
 // event is packed into a uint32. It also returns the total per-domain
-// instruction-word references of the stream.
-func resolveEvents(t *trace.Trace) ([]uint32, [trace.NumDomains]uint64) {
+// instruction-word references of the stream and the per-block reference
+// tables (the observed drive loop feeds per-event references to observers).
+func resolveEvents(t *trace.Trace) ([]uint32, [trace.NumDomains]uint64, [trace.NumDomains][]uint64) {
 	var refsTab [trace.NumDomains][]uint64
 	refsTab[trace.DomainOS] = refsOf(t.OS)
 	if t.App != nil {
@@ -126,7 +183,7 @@ func resolveEvents(t *trace.Trace) ([]uint32, [trace.NumDomains]uint64) {
 		refs[d] += refsTab[d][b]
 		out = append(out, uint32(d)<<eventDomainShift|uint32(b))
 	}
-	return out, refs
+	return out, refs, refsTab
 }
 
 // refsOf precomputes per-block instruction-word reference counts.
@@ -194,6 +251,53 @@ func driveGroup(stream []uint32, spans [trace.NumDomains][]lineSpan, chain, rest
 				r := &rest[k]
 				if cl := r.access(line, d); cl != cache.Hit {
 					recordMiss(r.res, cl, d, b)
+				}
+			}
+		}
+	}
+}
+
+// driveGroupObserved is driveGroup plus observer notification: each trace
+// event is announced to every watcher of the group, and each recorded miss
+// is forwarded to its runner's observer (evictions reach observers through
+// the cache-side hook installed at setup). The cache-visible access
+// sequence — including both elision rules — is exactly driveGroup's, so
+// results stay bit-identical to the unobserved path.
+func driveGroupObserved(stream []uint32, spans [trace.NumDomains][]lineSpan,
+	refsTab [trace.NumDomains][]uint64, chain, rest []runner, watchers []obs.Observer) {
+
+	prev := ^uint64(0)
+	for _, ev := range stream {
+		d := trace.Domain(ev >> eventDomainShift)
+		b := ev & (1<<eventDomainShift - 1)
+		refs := refsTab[d][b]
+		for _, w := range watchers {
+			w.Event(d, b, refs)
+		}
+		sp := spans[d][b]
+		for line := sp.First; line <= sp.Last; line++ {
+			if line == prev {
+				continue
+			}
+			prev = line
+			for k := range chain {
+				r := &chain[k]
+				cl := r.access(line, d)
+				if cl == cache.Hit {
+					break
+				}
+				recordMiss(r.res, cl, d, b)
+				if r.obs != nil {
+					r.obs.Miss(line, d, cl, b)
+				}
+			}
+			for k := range rest {
+				r := &rest[k]
+				if cl := r.access(line, d); cl != cache.Hit {
+					recordMiss(r.res, cl, d, b)
+					if r.obs != nil {
+						r.obs.Miss(line, d, cl, b)
+					}
 				}
 			}
 		}

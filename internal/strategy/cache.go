@@ -5,6 +5,7 @@ import (
 
 	"oslayout/internal/core"
 	"oslayout/internal/layout"
+	"oslayout/internal/obs"
 )
 
 // Built is one memoized strategy product.
@@ -30,6 +31,7 @@ type cacheKey struct {
 // read-only and needs no coordination.
 type Cache struct {
 	st    Study
+	rec   *obs.Recorder
 	mu    sync.Mutex
 	built map[cacheKey]*Built
 }
@@ -38,6 +40,10 @@ type Cache struct {
 func NewCache(st Study) *Cache {
 	return &Cache{st: st, built: make(map[cacheKey]*Built)}
 }
+
+// SetRecorder attaches a recorder; cache-miss builds are then timed as
+// "layout.<name>" spans. A nil recorder (the default) records nothing.
+func (c *Cache) SetRecorder(r *obs.Recorder) { c.rec = r }
 
 // Build returns the memoized product of the named strategy, building it on
 // first use. Errors are not cached.
@@ -55,7 +61,9 @@ func (c *Cache) Build(name string, p Params) (*Built, error) {
 	if b, ok := c.built[key]; ok {
 		return b, nil
 	}
+	done := c.rec.Span("layout." + name)
 	l, plan, err := s.Build(c.st, p)
+	done()
 	if err != nil {
 		return nil, err
 	}

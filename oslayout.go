@@ -32,6 +32,7 @@ import (
 	"oslayout/internal/core"
 	"oslayout/internal/kernelgen"
 	"oslayout/internal/layout"
+	"oslayout/internal/obs"
 	"oslayout/internal/profile"
 	"oslayout/internal/program"
 	"oslayout/internal/simulate"
@@ -71,7 +72,31 @@ type (
 	Result = simulate.Result
 	// App is a synthesized application image.
 	App = appgen.App
+	// Observer receives replay events from observed simulations.
+	Observer = obs.Observer
+	// SimStats is the standard observer: per-set conflict histograms,
+	// eviction-provenance breakdowns, windowed miss-rate series and top
+	// conflicting line pairs for one cache configuration.
+	SimStats = obs.SimStats
+	// Recorder collects scoped phase timings and counters across the
+	// pipeline (study build, trace generation, layout construction, replay
+	// throughput). All methods are nil-receiver safe.
+	Recorder = obs.Recorder
+	// Manifest is the machine-readable record of one run (configuration,
+	// per-phase timings, result digests, conflict attribution).
+	Manifest = obs.Manifest
 )
+
+// NewSimStats returns a recording observer splitting the trace into the
+// given number of time-series windows (a default resolution when 0).
+func NewSimStats(windows int) *SimStats { return obs.NewSimStats(windows) }
+
+// NewRecorder returns an empty phase/counter recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// Digest returns the SHA-256 hex digest of a rendered result, the form the
+// run manifest records outputs in.
+func Digest(rendered string) string { return obs.Digest(rendered) }
 
 // DefaultKernelConfig returns the kernel configuration used by the paper
 // experiments.
@@ -99,6 +124,9 @@ type StudyOptions struct {
 	// Trace controls trace generation; the zero value selects the package
 	// defaults (2M OS references per workload).
 	Trace TraceOptions
+	// Recorder, when non-nil, receives phase timings for kernel synthesis,
+	// per-workload trace generation and profile averaging.
+	Recorder *Recorder
 }
 
 // WorkloadData holds everything captured for one workload.
@@ -134,7 +162,10 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 	if opts.Kernel.TotalCodeBytes == 0 && opts.Kernel.Seed == 0 && opts.Kernel.PoolScale == 0 {
 		opts.Kernel = DefaultKernelConfig()
 	}
+	rec := opts.Recorder
+	kernelDone := rec.Span("kernel.synthesis")
 	k := kernelgen.Build(opts.Kernel)
+	kernelDone()
 	st := &Study{Kernel: k, traceOpts: opts.Trace}
 
 	var osProfiles []*Profile
@@ -143,22 +174,34 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 		if to.Seed == 0 {
 			to.Seed = int64(7001 + 13*i)
 		}
+		traceDone := rec.Span("trace." + w.Name)
 		t, app, err := workload.Generate(k, w, to)
 		if err != nil {
+			traceDone()
 			return nil, fmt.Errorf("oslayout: generating %s: %w", w.Name, err)
 		}
 		osp, appp := profile.FromTrace(t)
+		traceDone()
 		st.Data = append(st.Data, &WorkloadData{
 			Workload: w, Trace: t, App: app, OSProfile: osp, AppProfile: appp,
 		})
 		osProfiles = append(osProfiles, osp)
 	}
+	avgDone := rec.Span("profile.average")
 	avg, err := profile.Average(osProfiles...)
+	avgDone()
 	if err != nil {
 		return nil, fmt.Errorf("oslayout: averaging profiles: %w", err)
 	}
 	st.AvgOS = avg
 	return st, nil
+}
+
+// CaptureKernelProfile snapshots the kernel program's currently applied
+// weight fields as a Profile, so callers that temporarily apply other
+// profiles can restore the active state afterwards via Apply.
+func (s *Study) CaptureKernelProfile() *Profile {
+	return profile.Capture(s.Kernel.Prog)
 }
 
 // UseAverageProfile applies the averaged kernel profile to the kernel
@@ -365,6 +408,28 @@ func (s *Study) EvaluateMany(i int, osL, appL *Layout, cfgs []CacheConfig) ([]*R
 		appL = s.AppBaseLayout(i)
 	}
 	return simulate.RunMany(d.Trace, osL, appL, cfgs)
+}
+
+// EvaluateObserved is Evaluate with an attached observer: the replay
+// additionally reports every trace event, classified miss and eviction, so
+// collectors like SimStats can attribute where the misses went. The Result
+// is bit-identical to Evaluate's.
+func (s *Study) EvaluateObserved(i int, osL, appL *Layout, cfg CacheConfig, o Observer) (*Result, error) {
+	d := s.Data[i]
+	if appL == nil && d.App != nil {
+		appL = s.AppBaseLayout(i)
+	}
+	return simulate.RunObserved(d.Trace, osL, appL, cfg, o)
+}
+
+// EvaluateManyObserved is EvaluateMany with optional per-configuration
+// observers (observers[i] watches cfgs[i]; nil entries are free).
+func (s *Study) EvaluateManyObserved(i int, osL, appL *Layout, cfgs []CacheConfig, observers []Observer) ([]*Result, error) {
+	d := s.Data[i]
+	if appL == nil && d.App != nil {
+		appL = s.AppBaseLayout(i)
+	}
+	return simulate.RunManyObserved(d.Trace, osL, appL, cfgs, observers)
 }
 
 // EvaluateSplit replays workload i's trace through the paper's "Sep" setup:
