@@ -10,6 +10,7 @@
 //	oslayout list                      list experiment names
 //	oslayout strategies                list registered layout strategies
 //	oslayout compare [flags]           evaluate strategies over a size grid
+//	oslayout serve [flags]             HTTP daemon: jobs, metrics, SSE, pprof
 //
 // Paper experiments: table1-table4, fig1-fig8, fig12-fig18. Extensions:
 // xprofile, baselines, ablation, cpus, policy (see EXPERIMENTS.md). The
@@ -21,6 +22,11 @@
 // engine:
 //
 //	oslayout compare -strategies base,ch,ph,opts -sizes 4k,8k,16k
+//
+// The serve subcommand runs the same experiments as asynchronous HTTP jobs
+// with live progress streaming and Prometheus metrics; see internal/serve.
+// Offline runs can export their phase timings with -trace out.json (Chrome
+// trace_event format, loadable in chrome://tracing or Perfetto).
 package main
 
 import (
@@ -28,7 +34,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -38,6 +43,7 @@ import (
 	"oslayout"
 	"oslayout/internal/expt"
 	"oslayout/internal/obs"
+	"oslayout/internal/serve"
 	"oslayout/internal/simulate"
 )
 
@@ -53,6 +59,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) > 0 && args[0] == "compare" {
 		return runCompare(args[1:], stdout, stderr)
 	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("oslayout", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -62,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dumpTraces = fs.String("dumptraces", "", "directory to write the captured workload traces to (binary format)")
 		jsonDir    = fs.String("json", "", "directory to additionally write each experiment's result as <name>.json")
 		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
+		tracePath  = fs.String("trace", "", "file to write the run's phase timings to as Chrome trace_event JSON (chrome://tracing, Perfetto)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: oslayout [flags] <experiment>...|all|stats|list\n\nexperiments: %v\n\nflags:\n",
@@ -107,6 +117,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("%q must be the only argument: oslayout %s", n, n)
 		case "compare":
 			return fmt.Errorf("compare is a subcommand and must come first: oslayout compare [flags]")
+		case "serve":
+			return fmt.Errorf("serve is a subcommand and must come first: oslayout serve [flags]")
 		}
 		if n == "stats" {
 			wantStats = true
@@ -119,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var rec *oslayout.Recorder
-	if *reportDir != "" {
+	if *reportDir != "" || *tracePath != "" {
 		rec = oslayout.NewRecorder()
 	}
 	start := time.Now()
@@ -144,7 +156,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	for _, n := range expNames {
 		t0 := time.Now()
+		done := rec.Span("experiment." + n)
 		r, err := expt.Run(env, n)
+		done()
 		if err != nil {
 			return fmt.Errorf("%s: %w", n, err)
 		}
@@ -161,7 +175,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if *reportDir != "" {
-		return writeManifest(*reportDir, "oslayout "+strings.Join(args, " "), fs, env, rec, results)
+		if err := writeManifest(*reportDir, "oslayout "+strings.Join(args, " "), fs, env, rec, results); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := obs.WriteTraceFile(*tracePath, rec.Phases()); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
 	}
 	return nil
 }
@@ -322,33 +343,10 @@ func splitList(s string) []string {
 }
 
 // parseSizes parses a comma-separated cache-size list: plain byte counts,
-// k/K-suffixed kilobytes or m/M-suffixed megabytes ("4k,8192,1M").
+// k/K-suffixed kilobytes or m/M-suffixed megabytes ("4k,8192,1M"). The
+// element syntax is shared with the serve job specs.
 func parseSizes(s string) ([]int, error) {
-	var sizes []int
-	for _, part := range splitList(s) {
-		mult := 1
-		num := part
-		switch part[len(part)-1] {
-		case 'k', 'K':
-			mult = 1 << 10
-			num = part[:len(part)-1]
-		case 'm', 'M':
-			mult = 1 << 20
-			num = part[:len(part)-1]
-		}
-		v, err := strconv.Atoi(num)
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad cache size %q", part)
-		}
-		if v > math.MaxInt/mult {
-			return nil, fmt.Errorf("cache size %q overflows", part)
-		}
-		sizes = append(sizes, v*mult)
-	}
-	if len(sizes) == 0 {
-		return nil, fmt.Errorf("no cache sizes given")
-	}
-	return sizes, nil
+	return serve.ParseSizes(splitList(s))
 }
 
 // writeJSON stores one experiment's result struct as indented JSON, the

@@ -430,3 +430,83 @@ func TestRunJSONOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestRunReportNestedRelativeDir is the regression test for -report paths
+// whose parent directories do not exist yet: the manifest write must create
+// the whole chain (relative paths included) rather than fail at CreateTemp.
+func TestRunReportNestedRelativeDir(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	rel := filepath.Join("out", "nested", "report")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-refs", "120000", "-report", rel, "table1"}, &out, &errb); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(rel, "manifest.json")); err != nil {
+		t.Errorf("manifest not written under nested relative dir: %v", err)
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(rel, "*.tmp"))
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}
+
+// TestRunTraceExport checks the offline -trace flag: the file must be a
+// valid Chrome trace_event JSON array covering the run's phases, and nested
+// parent directories must be created.
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "trace.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-refs", "120000", "-trace", path, "table2"}, &out, &errb); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []struct {
+		Name  string  `json:"name"`
+		Phase string  `json:"ph"`
+		Ts    float64 `json:"ts"`
+		Dur   float64 `json:"dur"`
+	}
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range evs {
+		if e.Phase != "X" && e.Phase != "M" {
+			t.Errorf("unexpected event phase %q", e.Phase)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"study.build", "experiment.table2"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestRunServeRouting checks the serve subcommand's arg handling without
+// binding a socket.
+func TestRunServeRouting(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"table1", "serve"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "must come first") {
+		t.Errorf("serve mixed into experiments: err = %v, want routing error", err)
+	}
+	if err := run([]string{"serve", "positional"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "no positional arguments") {
+		t.Errorf("serve with positional args: err = %v", err)
+	}
+	if err := run([]string{"serve", "-addr", "not-an-address"}, &out, &errb); err == nil {
+		t.Error("serve accepted an unparseable listen address")
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+
+	"oslayout/internal/serve"
+)
+
+// runServe executes the serve subcommand: the live observability daemon.
+// Experiments and compare grids are submitted as asynchronous jobs over
+// HTTP; progress streams over SSE and the process exposes Prometheus
+// metrics and pprof. See internal/serve for the endpoint surface.
+func runServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oslayout serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 2, "concurrent jobs (each job parallelises replays across cores)")
+		maxJobs = fs.Int("maxjobs", 64, "retained job table size; oldest finished jobs are evicted past it")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: oslayout serve [flags]
+
+endpoints:
+  POST /api/jobs              submit {"experiments":["table1"],"refs":400000}
+                              or {"compare":{"strategies":["base","opts"],"sizes":["8k"]}}
+  GET  /api/jobs              list jobs
+  GET  /api/jobs/{id}         job status (rendered results once done)
+  GET  /api/jobs/{id}/events  SSE progress stream
+  GET  /api/jobs/{id}/trace   Chrome trace_event JSON of the job's phases
+  GET  /metrics               Prometheus text exposition
+  GET  /healthz               liveness
+  GET  /debug/pprof/          runtime profiling
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments (got %v)", fs.Args())
+	}
+
+	s := serve.New(serve.Config{Workers: *workers, MaxJobs: *maxJobs})
+	defer s.Close()
+
+	// Listen before announcing, so ":0" prints the resolved port and a
+	// bad address fails up front rather than inside Serve.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "oslayout serve listening on http://%s\n", hostport(ln.Addr().String()))
+	return http.Serve(ln, s.Handler())
+}
+
+// hostport rewrites a wildcard listen address into something curlable.
+func hostport(addr string) string {
+	if host, port, err := net.SplitHostPort(addr); err == nil {
+		if host == "" || host == "::" || strings.HasPrefix(host, "0.0.0.0") {
+			return net.JoinHostPort("localhost", port)
+		}
+	}
+	return addr
+}

@@ -6,6 +6,7 @@ package expt
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"oslayout"
@@ -33,6 +34,14 @@ type Options struct {
 	// construction) and replay throughput counters from every experiment
 	// run in this environment.
 	Recorder *obs.Recorder
+	// OnWindow, when non-nil, receives one live progress sample per
+	// completed miss-rate window of every replay the environment runs: a
+	// streaming SimStats observer is attached to the first configuration
+	// of each Eval/EvalMany batch. The callback is invoked from parEach
+	// workers concurrently and must be safe for that. Replay results stay
+	// bit-identical (observation never changes cache state); the CLI paths
+	// leave this nil, so the unobserved fast paths are untouched there.
+	OnWindow func(obs.WindowFlush)
 }
 
 // Env is the shared environment of all experiments: one study plus the
@@ -43,9 +52,13 @@ type Options struct {
 type Env struct {
 	St *oslayout.Study
 
-	rec     *obs.Recorder
-	layouts *strategy.Cache
-	loops   []cfa.Loop
+	rec      *obs.Recorder
+	layouts  *strategy.Cache
+	onWindow func(obs.WindowFlush)
+	loops    []cfa.Loop
+	// refsTot lazily caches per-workload total references (recordReplay).
+	refsOnce sync.Once
+	refsTot  []uint64
 	// results memoizes experiment outputs by registry memo key, so
 	// experiments sharing a runner (fig4/fig5) compute once per run.
 	results map[string]Renderer
@@ -70,13 +83,17 @@ func NewEnv(opt Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	layouts := strategy.NewCache(st)
+	// Share the study's own strategy cache rather than carrying a second
+	// one: BuildStrategy calls and experiment builds then serialise under
+	// one lock and share one memo map.
+	layouts := st.StrategyCache()
 	layouts.SetRecorder(opt.Recorder)
 	return &Env{
-		St:      st,
-		rec:     opt.Recorder,
-		layouts: layouts,
-		results: make(map[string]Renderer),
+		St:       st,
+		rec:      opt.Recorder,
+		layouts:  layouts,
+		onWindow: opt.OnWindow,
+		results:  make(map[string]Renderer),
 	}, nil
 }
 
@@ -172,9 +189,15 @@ func (e *Env) AppOpt(i int, cacheSize int, osPlan *oslayout.Plan) (*layout.Layou
 // Eval simulates workload i under the given layouts and cache.
 func (e *Env) Eval(i int, osL, appL *layout.Layout, cfg cache.Config) (*simulate.Result, error) {
 	start := time.Now()
-	r, err := e.St.Evaluate(i, osL, appL, cfg)
+	var r *simulate.Result
+	var err error
+	if e.onWindow != nil {
+		r, err = e.St.EvaluateObserved(i, osL, appL, cfg, e.progressObserver(i, cfg))
+	} else {
+		r, err = e.St.Evaluate(i, osL, appL, cfg)
+	}
 	if err == nil {
-		e.rec.AddReplay(uint64(len(e.St.Data[i].Trace.Events)), time.Since(start))
+		e.recordReplay(i, start)
 	}
 	return r, err
 }
@@ -182,12 +205,23 @@ func (e *Env) Eval(i int, osL, appL *layout.Layout, cfg cache.Config) (*simulate
 // EvalMany simulates workload i under the given layouts across many cache
 // organisations in one pass over the trace (simulate.RunMany). Sweeps batch
 // their grid points through this so parallelism (parEach) is across
-// trace-sharing batches rather than redundant replays.
+// trace-sharing batches rather than redundant replays. When the
+// environment carries a live-progress hook, the batch's first
+// configuration is driven with a streaming observer (results are
+// bit-identical either way).
 func (e *Env) EvalMany(i int, osL, appL *layout.Layout, cfgs []cache.Config) ([]*simulate.Result, error) {
 	start := time.Now()
-	rs, err := e.St.EvaluateMany(i, osL, appL, cfgs)
+	var rs []*simulate.Result
+	var err error
+	if e.onWindow != nil && len(cfgs) > 0 {
+		observers := make([]obs.Observer, len(cfgs))
+		observers[0] = e.progressObserver(i, cfgs[0])
+		rs, err = e.St.EvaluateManyObserved(i, osL, appL, cfgs, observers)
+	} else {
+		rs, err = e.St.EvaluateMany(i, osL, appL, cfgs)
+	}
 	if err == nil {
-		e.rec.AddReplay(uint64(len(e.St.Data[i].Trace.Events)), time.Since(start))
+		e.recordReplay(i, start)
 	}
 	return rs, err
 }
@@ -197,10 +231,56 @@ func (e *Env) EvalManyObserved(i int, osL, appL *layout.Layout, cfgs []cache.Con
 	start := time.Now()
 	rs, err := e.St.EvaluateManyObserved(i, osL, appL, cfgs, observers)
 	if err == nil {
-		e.rec.AddReplay(uint64(len(e.St.Data[i].Trace.Events)), time.Since(start))
+		e.recordReplay(i, start)
 	}
 	return rs, err
 }
+
+// progressObserver returns a SimStats that streams every completed
+// miss-rate window of one replay to the environment's OnWindow hook,
+// tagged with the workload and configuration it watches.
+func (e *Env) progressObserver(i int, cfg cache.Config) *obs.SimStats {
+	s := obs.NewSimStats(0)
+	flush := obs.WindowFlush{
+		Workload: e.St.Data[i].Workload.Name,
+		Config:   cfg.String(),
+		Total:    obs.DefaultWindows,
+	}
+	sink := e.onWindow
+	s.OnWindowFlush = func(idx int, w obs.Window) {
+		flush.Index, flush.Window = idx, w
+		sink(flush)
+	}
+	return s
+}
+
+// recordReplay accounts one finished trace replay on the recorder: event
+// and reference counts plus wall-clock, the raw material for throughput
+// metrics. The reference total needs a one-time scan per workload, so it
+// is skipped entirely when no recorder is attached.
+func (e *Env) recordReplay(i int, start time.Time) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.AddReplay(uint64(len(e.St.Data[i].Trace.Events)), time.Since(start))
+	e.rec.Add("replay.refs", e.workloadRefs(i))
+}
+
+// workloadRefs returns workload i's total instruction-word references,
+// computed once per environment (the scan is O(events)).
+func (e *Env) workloadRefs(i int) uint64 {
+	e.refsOnce.Do(func() {
+		e.refsTot = make([]uint64, len(e.St.Data))
+		for j, d := range e.St.Data {
+			osRefs, appRefs := d.Trace.Refs()
+			e.refsTot[j] = osRefs + appRefs
+		}
+	})
+	return e.refsTot[i]
+}
+
+// LayoutCacheStats returns the strategy build cache's hit/miss counts.
+func (e *Env) LayoutCacheStats() (hits, misses uint64) { return e.layouts.Stats() }
 
 // Workloads returns the workload names.
 func (e *Env) Workloads() []string { return e.St.WorkloadNames() }

@@ -64,6 +64,20 @@ func (w Window) MissRate() float64 {
 	return float64(w.Misses) / float64(w.Refs)
 }
 
+// WindowFlush is one live progress sample: a completed miss-rate window of
+// one replay, tagged with the workload and cache configuration it came
+// from. The experiment environment emits these through its OnWindow hook;
+// the serve daemon forwards them over SSE.
+type WindowFlush struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// Index is the completed window's position in [0, Total); flushes for
+	// one (workload, config) pair arrive in strictly increasing order.
+	Index  int    `json:"index"`
+	Total  int    `json:"total"`
+	Window Window `json:"window"`
+}
+
 // PairCount is one (victim, evictor) conflict pair with its eviction count.
 // Lines are line addresses (byte address / line size).
 type PairCount struct {
@@ -97,6 +111,16 @@ type SimStats struct {
 	Windows []Window
 	// Evictions counts total evictions observed.
 	Evictions uint64
+
+	// OnWindowFlush, when non-nil, is invoked each time the replay crosses
+	// a window boundary, with the index and final contents of every window
+	// just completed — the incremental feed behind live progress streaming
+	// (SSE). The last window is never flushed through the hook (the replay
+	// driver has no end-of-trace callback); readers take it from Windows
+	// when the replay returns. Set before Begin; nil (the default) leaves
+	// the accumulation path branch-free beyond one pointer test per
+	// boundary crossing, so unobserved and hook-free replays are untouched.
+	OnWindowFlush func(index int, w Window)
 
 	numWindows  int
 	sets        int
@@ -160,9 +184,17 @@ func (s *SimStats) setOf(line uint64) int {
 // Event implements Observer.
 func (s *SimStats) Event(d trace.Domain, block uint32, refs uint64) {
 	if s.totalEvents > 0 {
-		s.curWindow = s.eventIdx * s.numWindows / s.totalEvents
-		if s.curWindow >= s.numWindows {
-			s.curWindow = s.numWindows - 1
+		w := s.eventIdx * s.numWindows / s.totalEvents
+		if w >= s.numWindows {
+			w = s.numWindows - 1
+		}
+		if w != s.curWindow {
+			if s.OnWindowFlush != nil {
+				for i := s.curWindow; i < w; i++ {
+					s.OnWindowFlush(i, s.Windows[i])
+				}
+			}
+			s.curWindow = w
 		}
 	}
 	s.Windows[s.curWindow].Refs += refs

@@ -175,3 +175,53 @@ func TestLineResolver(t *testing.T) {
 		t.Error("empty resolver should answer ?")
 	}
 }
+
+// TestSimStatsWindowFlush drives a synthetic event stream through two
+// SimStats — one with the flush hook, one without — and checks (a) the
+// hook delivers every completed window exactly once, in order, with the
+// same contents the final Windows slice holds, and (b) the accumulated
+// statistics are identical with and without the hook.
+func TestSimStatsWindowFlush(t *testing.T) {
+	cfg := cache.Config{Size: 128, Line: 32, Assoc: 1}
+	const events, windows = 40, 4
+
+	drive := func(s *SimStats) {
+		s.Begin(cfg, events)
+		for i := 0; i < events; i++ {
+			s.Event(trace.DomainOS, uint32(i), 8)
+			if i%3 == 0 {
+				s.Miss(uint64(i%7), trace.DomainOS, cache.SelfMiss, uint32(i))
+			}
+		}
+	}
+
+	plain := NewSimStats(windows)
+	drive(plain)
+
+	hooked := NewSimStats(windows)
+	var flushed []WindowFlush
+	hooked.OnWindowFlush = func(idx int, w Window) {
+		flushed = append(flushed, WindowFlush{Index: idx, Total: windows, Window: w})
+	}
+	drive(hooked)
+
+	if len(flushed) != windows-1 {
+		t.Fatalf("flushed %d windows, want %d (all but the last)", len(flushed), windows-1)
+	}
+	for i, f := range flushed {
+		if f.Index != i {
+			t.Errorf("flush %d has index %d — not monotone", i, f.Index)
+		}
+		if f.Window != hooked.Windows[i] {
+			t.Errorf("flush %d = %+v, final Windows[%d] = %+v", i, f.Window, i, hooked.Windows[i])
+		}
+	}
+	for i := range plain.Windows {
+		if plain.Windows[i] != hooked.Windows[i] {
+			t.Errorf("window %d differs with hook: %+v vs %+v", i, hooked.Windows[i], plain.Windows[i])
+		}
+	}
+	if plain.TotalMisses() != hooked.TotalMisses() {
+		t.Errorf("misses differ with hook: %d vs %d", hooked.TotalMisses(), plain.TotalMisses())
+	}
+}

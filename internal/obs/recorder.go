@@ -8,6 +8,10 @@ import (
 // Phase is one completed named span.
 type Phase struct {
 	Name string `json:"name"`
+	// Start is the span's start offset in milliseconds since the recorder
+	// was created, so completed spans can be laid out on a timeline
+	// (Chrome trace-event export, live phase streaming).
+	Start float64 `json:"start_ms"`
 	// Millis is the span's wall-clock duration in milliseconds.
 	Millis float64 `json:"ms"`
 }
@@ -19,14 +23,31 @@ type Phase struct {
 // instrumented call sites need no branches — a nil *Recorder records
 // nothing.
 type Recorder struct {
+	epoch    time.Time
 	mu       sync.Mutex
 	phases   []Phase
 	counters map[string]uint64
+	onPhase  func(Phase)
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty recorder; span start offsets are measured
+// from this moment.
 func NewRecorder() *Recorder {
-	return &Recorder{counters: make(map[string]uint64)}
+	return &Recorder{epoch: time.Now(), counters: make(map[string]uint64)}
+}
+
+// SetOnPhase installs a callback invoked with every completed span, after
+// it is recorded — the live-progress hook the serve daemon streams phase
+// events from. Call before handing the recorder out; a nil callback (the
+// default) costs nothing. The callback runs on the goroutine ending the
+// span and must not call back into the recorder's span bookkeeping.
+func (r *Recorder) SetOnPhase(f func(Phase)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onPhase = f
+	r.mu.Unlock()
 }
 
 // Span starts a named span and returns the function that ends it; the
@@ -38,9 +59,18 @@ func (r *Recorder) Span(name string) func() {
 	start := time.Now()
 	return func() {
 		d := time.Since(start)
+		p := Phase{
+			Name:   name,
+			Start:  float64(start.Sub(r.epoch).Nanoseconds()) / 1e6,
+			Millis: float64(d.Nanoseconds()) / 1e6,
+		}
 		r.mu.Lock()
-		r.phases = append(r.phases, Phase{Name: name, Millis: float64(d.Nanoseconds()) / 1e6})
+		r.phases = append(r.phases, p)
+		cb := r.onPhase
 		r.mu.Unlock()
+		if cb != nil {
+			cb(p)
+		}
 	}
 }
 

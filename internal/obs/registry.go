@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe collection of Prometheus-style metrics —
+// counters, gauges and histograms, optionally labelled — with a text
+// exposition writer (the v0.0.4 format Prometheus scrapes). The serve
+// daemon's /metrics endpoint is backed by one Registry; nothing here
+// depends on net/http, so offline tools can expose the same metrics.
+//
+// Registration is idempotent: asking for the same (name, labels) again
+// returns the same instrument, so hot paths register once and hold the
+// returned handle. Counter and Gauge updates are single atomic operations
+// (no registry lock), cheap enough to sit on per-reference paths.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric name: its metadata plus the children (one per
+// distinct label combination).
+type family struct {
+	name      string
+	help      string
+	typ       string // "counter", "gauge" or "histogram"
+	labelKeys []string
+	buckets   []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]metric // keyed by the rendered label string
+	fn       func() float64    // gauge funcs: read at exposition time
+}
+
+type metric interface {
+	// write emits the child's sample lines. labels is the pre-rendered
+	// `{k="v",...}` string (empty when unlabelled).
+	write(w io.Writer, name, labels string, labelKeys, labelVals []string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter is a monotonically increasing counter. The zero value outside a
+// registry is usable (Add/Value work) but never exposed.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add accumulates delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, name, labels string, _, _ []string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// Gauge is a settable value (stored as float bits, atomically).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (negative to decrease), atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, labels string, _, _ []string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// Histogram is a cumulative-bucket histogram over float64 observations
+// (e.g. phase durations in seconds). Observations take one short mutex
+// hold; histograms sit on low-frequency paths (phase ends, job ends).
+type Histogram struct {
+	upper []float64
+	mu    sync.Mutex
+	count []uint64
+	sum   float64
+	total uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.count[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+func (h *Histogram) write(w io.Writer, name, _ string, labelKeys, labelVals []string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.count...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	leKeys := append(append([]string{}, labelKeys...), "le")
+	withLE := func(le string) string {
+		return renderLabels(leKeys, append(append([]string{}, labelVals...), le))
+	}
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(formatFloat(ub)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), total)
+	base := renderLabels(labelKeys, labelVals)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, base, total)
+}
+
+// DefBuckets are the default histogram buckets, in seconds, spanning the
+// sub-millisecond layout builds up to multi-minute full-refs studies.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+
+// Counter returns (registering on first use) the counter with the given
+// name and alternating label key/value pairs. Mismatched metadata against
+// an earlier registration panics: metric identity is a programming error.
+func (r *Registry) Counter(name, help string, labelsKV ...string) *Counter {
+	m := r.child(name, help, "counter", nil, labelsKV, func() metric { return &Counter{} })
+	return m.(*Counter)
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name, help string, labelsKV ...string) *Gauge {
+	m := r.child(name, help, "gauge", nil, labelsKV, func() metric { return &Gauge{} })
+	return m.(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is read from f at exposition
+// time (uptime, pool sizes, cache occupancy). Label-less; re-registering
+// the same name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	fam := r.family(name, help, "gauge", nil, nil)
+	fam.mu.Lock()
+	fam.fn = f
+	fam.mu.Unlock()
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given cumulative bucket upper bounds (DefBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []float64, labelsKV ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	m := r.child(name, help, "histogram", buckets, labelsKV, func() metric {
+		return &Histogram{upper: buckets, count: make([]uint64, len(buckets))}
+	})
+	return m.(*Histogram)
+}
+
+// family returns (creating if needed) the named family, panicking on
+// metadata mismatch with a previous registration.
+func (r *Registry) family(name, help, typ string, labelKeys []string, buckets []float64) *family {
+	if err := checkName(name); err != nil {
+		panic("obs: " + err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, labelKeys: labelKeys,
+			buckets: buckets, children: make(map[string]metric)}
+		r.families[name] = fam
+		return fam
+	}
+	if fam.typ != typ || !equalStrings(fam.labelKeys, labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+			name, typ, labelKeys, fam.typ, fam.labelKeys))
+	}
+	return fam
+}
+
+func (r *Registry) child(name, help, typ string, buckets []float64, labelsKV []string, mk func() metric) metric {
+	if len(labelsKV)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q: odd label key/value list %v", name, labelsKV))
+	}
+	keys := make([]string, 0, len(labelsKV)/2)
+	vals := make([]string, 0, len(labelsKV)/2)
+	for i := 0; i < len(labelsKV); i += 2 {
+		keys = append(keys, labelsKV[i])
+		vals = append(vals, labelsKV[i+1])
+	}
+	sortLabels(keys, vals)
+	fam := r.family(name, help, typ, keys, buckets)
+	key := renderLabels(keys, vals)
+	fam.mu.Lock()
+	defer fam.mu.Unlock()
+	m, ok := fam.children[key]
+	if !ok {
+		m = mk()
+		fam.children[key] = m
+	}
+	return m
+}
+
+// WriteText writes the registry in the Prometheus text exposition format,
+// families sorted by name and children by label string, so scrapes are
+// deterministic and diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, fam := range fams {
+		if fam.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.typ)
+		fam.mu.Lock()
+		if fam.fn != nil {
+			fn := fam.fn
+			fam.mu.Unlock()
+			fmt.Fprintf(w, "%s %s\n", fam.name, formatFloat(fn()))
+			continue
+		}
+		keys := make([]string, 0, len(fam.children))
+		for k := range fam.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			m := fam.children[k]
+			labelVals := labelValsOf(fam.labelKeys, k)
+			m.write(w, fam.name, k, fam.labelKeys, labelVals)
+		}
+		fam.mu.Unlock()
+	}
+	if fw, ok := w.(interface{ Flush() error }); ok {
+		return fw.Flush()
+	}
+	return nil
+}
+
+// labelValsOf recovers the label values from a rendered label string; the
+// renderer is ours, so the parse is exact (values are unescaped).
+func labelValsOf(keys []string, rendered string) []string {
+	if len(keys) == 0 {
+		return nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(rendered, "{"), "}")
+	vals := make([]string, 0, len(keys))
+	for _, part := range splitLabelPairs(inner) {
+		eq := strings.IndexByte(part, '=')
+		v := part[eq+1:]
+		vals = append(vals, unescapeLabel(v[1:len(v)-1]))
+	}
+	return vals
+}
+
+// splitLabelPairs splits `k="v",k2="v2"` at commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// renderLabels renders `{k="v",...}` with escaped values, empty for no
+// labels. keys/vals must already be sorted consistently.
+func renderLabels(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(vals[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func sortLabels(keys, vals []string) {
+	sort.Sort(&labelSorter{keys, vals})
+}
+
+type labelSorter struct{ keys, vals []string }
+
+func (s *labelSorter) Len() int           { return len(s.keys) }
+func (s *labelSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *labelSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func unescapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\"`, `"`)
+	v = strings.ReplaceAll(v, `\n`, "\n")
+	return strings.ReplaceAll(v, `\\`, `\`)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// checkName validates a metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

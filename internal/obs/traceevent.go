@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// TraceEvent is one entry of the Chrome trace_event JSON array format, the
+// profile interchange format chrome://tracing and Perfetto load directly.
+// Only the subset the recorder needs is modelled: complete ("X") duration
+// events and metadata ("M") events. Timestamps and durations are in
+// microseconds, per the format.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceEvents converts completed recorder spans into trace_event form. A
+// Phase carries only (start, duration), not a thread, so concurrent spans
+// (parEach replays, parallel layout builds) would overlap if drawn on one
+// row; instead spans are interval-partitioned onto synthetic "threads":
+// sorted by start time, each span lands on the first lane whose previous
+// span has already ended, which is the minimal set of non-overlapping rows
+// (the classic greedy interval-partitioning argument). The result opens in
+// chrome://tracing or ui.perfetto.dev as one process with as many rows as
+// the run's peak span concurrency.
+func TraceEvents(phases []Phase) []TraceEvent {
+	byStart := append([]Phase(nil), phases...)
+	sort.SliceStable(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+
+	events := []TraceEvent{{
+		Name: "process_name", Phase: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "oslayout"},
+	}}
+	var laneEnd []float64 // per-lane end time of the last span placed, in ms
+	for _, p := range byStart {
+		tid := -1
+		for lane, end := range laneEnd {
+			if end <= p.Start {
+				tid = lane
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[tid] = p.Start + p.Millis
+		events = append(events, TraceEvent{
+			Name:  p.Name,
+			Phase: "X",
+			Ts:    p.Start * 1000, // ms → µs
+			Dur:   p.Millis * 1000,
+			Pid:   1,
+			Tid:   tid + 1,
+			Cat:   "phase",
+		})
+	}
+	return events
+}
+
+// WriteTraceEvents writes the spans as a trace_event JSON array.
+func WriteTraceEvents(w io.Writer, phases []Phase) error {
+	data, err := json.MarshalIndent(TraceEvents(phases), "", " ")
+	if err != nil {
+		return fmt.Errorf("obs: marshalling trace events: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteTraceFile stores the spans as a trace_event JSON file at path,
+// creating missing parent directories and writing via a temporary name
+// renamed into place so an aborted run never leaves a truncated trace.
+func WriteTraceFile(path string, phases []Phase) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, "trace-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	werr := WriteTraceEvents(f, phases)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: writing trace %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceEventsLaneAssignment(t *testing.T) {
+	// Three spans: A [0,10), B [2,5) overlaps A, C [12,14) fits after A.
+	phases := []Phase{
+		{Name: "A", Start: 0, Millis: 10},
+		{Name: "B", Start: 2, Millis: 3},
+		{Name: "C", Start: 12, Millis: 2},
+	}
+	evs := TraceEvents(phases)
+	if len(evs) != 4 { // metadata + 3 spans
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Phase != "M" {
+		t.Fatalf("first event is %q, want metadata", evs[0].Phase)
+	}
+	byName := map[string]TraceEvent{}
+	for _, e := range evs[1:] {
+		if e.Phase != "X" {
+			t.Errorf("%s: phase %q, want X", e.Name, e.Phase)
+		}
+		byName[e.Name] = e
+	}
+	if byName["A"].Tid == byName["B"].Tid {
+		t.Error("overlapping spans A and B share a lane")
+	}
+	if byName["A"].Tid != byName["C"].Tid {
+		t.Error("non-overlapping span C did not reuse A's lane")
+	}
+	if byName["B"].Ts != 2000 || byName["B"].Dur != 3000 {
+		t.Errorf("B = (ts %v, dur %v) µs, want (2000, 3000)", byName["B"].Ts, byName["B"].Dur)
+	}
+}
+
+func TestWriteTraceEventsValidJSONArray(t *testing.T) {
+	rec := NewRecorder()
+	done := rec.Span("outer")
+	inner := rec.Span("inner")
+	time.Sleep(time.Millisecond)
+	inner()
+	done()
+	var sb strings.Builder
+	if err := WriteTraceEvents(&sb, rec.Phases()); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &evs); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for _, e := range evs {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Errorf("event %v missing %q", e, key)
+			}
+		}
+	}
+}
+
+func TestWriteTraceFileCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deep", "nested", "trace.json")
+	if err := WriteTraceFile(path, []Phase{{Name: "p", Start: 0, Millis: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []TraceEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("written trace invalid: %v", err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("trace dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestRecorderPhaseStartOffsets(t *testing.T) {
+	rec := NewRecorder()
+	first := rec.Span("first")
+	time.Sleep(2 * time.Millisecond)
+	first()
+	second := rec.Span("second")
+	second()
+	ps := rec.Phases()
+	if len(ps) != 2 {
+		t.Fatalf("got %d phases, want 2", len(ps))
+	}
+	if ps[0].Start < 0 {
+		t.Errorf("first span start %v < 0", ps[0].Start)
+	}
+	if ps[1].Start < ps[0].Start+ps[0].Millis {
+		t.Errorf("second span starts at %vms, before first ended (%v + %v)",
+			ps[1].Start, ps[0].Start, ps[0].Millis)
+	}
+}
+
+func TestRecorderOnPhase(t *testing.T) {
+	rec := NewRecorder()
+	var got []Phase
+	rec.SetOnPhase(func(p Phase) { got = append(got, p) })
+	rec.Span("a")()
+	rec.Span("b")()
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Errorf("phase callback saw %v", got)
+	}
+	// Nil recorder: SetOnPhase is a no-op, not a crash.
+	var nilRec *Recorder
+	nilRec.SetOnPhase(func(Phase) {})
+	nilRec.Span("c")()
+}

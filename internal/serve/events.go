@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"sync"
+
+	"oslayout/internal/obs"
+)
+
+// Event is one entry of a job's progress stream, delivered over SSE as a
+// JSON payload. Exactly one of the optional fields is set, matching Type:
+// "state" (lifecycle transition), "phase" (a completed recorder span),
+// "window" (a flushed miss-rate window from a live replay), and "done"
+// (terminal; the stream ends after it).
+type Event struct {
+	// Seq is the event's position in the job's stream, monotonically
+	// increasing from 0, so clients can detect drops.
+	Seq    int              `json:"seq"`
+	Type   string           `json:"type"`
+	State  string           `json:"state,omitempty"`
+	Phase  *obs.Phase       `json:"phase,omitempty"`
+	Window *obs.WindowFlush `json:"window,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// subBuffer bounds each subscriber's channel; a subscriber that stalls past
+// it misses events (Seq gaps reveal that) rather than stalling the job.
+const subBuffer = 512
+
+// historyCap bounds the per-job replay buffer late subscribers receive.
+// Window events dominate volume: ~31 per replayed (workload, config) pair.
+const historyCap = 4096
+
+// eventHub fans one job's progress events out to any number of SSE
+// subscribers, keeping a bounded history so a subscriber attaching
+// mid-run (or after completion) still sees the whole story.
+type eventHub struct {
+	mu      sync.Mutex
+	seq     int
+	history []Event
+	subs    map[chan Event]struct{}
+	closed  bool
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[chan Event]struct{})}
+}
+
+// publish stamps the sequence number, appends to history and offers the
+// event to every subscriber without blocking.
+func (h *eventHub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	e.Seq = h.seq
+	h.seq++
+	if len(h.history) < historyCap {
+		h.history = append(h.history, e)
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop rather than stall the job
+		}
+	}
+}
+
+// subscribe returns the history so far and a channel carrying subsequent
+// events; done reports whether the stream is already complete (the channel
+// is pre-closed then). Call unsubscribe when finished.
+func (h *eventHub) subscribe() (history []Event, ch chan Event, done bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	history = append([]Event(nil), h.history...)
+	ch = make(chan Event, subBuffer)
+	if h.closed {
+		close(ch)
+		return history, ch, true
+	}
+	h.subs[ch] = struct{}{}
+	return history, ch, false
+}
+
+func (h *eventHub) unsubscribe(ch chan Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+	}
+}
+
+// close ends the stream: subscribers' channels are closed and later
+// publishes are dropped. History stays for late subscribers.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = make(map[chan Event]struct{})
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oslayout/internal/expt"
+	"oslayout/internal/obs"
+	"oslayout/internal/strategy"
+)
+
+// JobSpec is what a client submits to POST /api/jobs: either a list of
+// registered experiment names or one compare grid, plus the study inputs.
+type JobSpec struct {
+	// Experiments names registered experiments ("table1", "fig15", ...).
+	Experiments []string `json:"experiments,omitempty"`
+	// Compare, when non-nil, runs one strategy-comparison grid instead.
+	Compare *CompareSpec `json:"compare,omitempty"`
+	// Refs is the per-workload OS reference target (default 3M, like the
+	// CLI). Seed overrides the kernel generation seed (0 = default).
+	Refs uint64 `json:"refs,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// CompareSpec mirrors the CLI compare subcommand's flags.
+type CompareSpec struct {
+	// Strategies are registered strategy names; Sizes accepts the CLI's
+	// size syntax ("8192", "8k", "1M").
+	Strategies []string `json:"strategies"`
+	Sizes      []string `json:"sizes"`
+	// Line and Assoc default to the paper's 32-byte direct-mapped caches.
+	Line   int  `json:"line,omitempty"`
+	Assoc  int  `json:"assoc,omitempty"`
+	Detail bool `json:"detail,omitempty"`
+}
+
+// validate resolves defaults and rejects malformed specs before the job is
+// accepted, so clients get a 400 rather than a failed job.
+func (s *JobSpec) validate() error {
+	if len(s.Experiments) > 0 && s.Compare != nil {
+		return fmt.Errorf("spec mixes experiments and compare; submit one or the other")
+	}
+	if len(s.Experiments) == 0 && s.Compare == nil {
+		return fmt.Errorf("spec names no work: give experiments or compare")
+	}
+	for _, n := range s.Experiments {
+		if !expt.Has(n) {
+			return fmt.Errorf("unknown experiment %q", n)
+		}
+	}
+	if c := s.Compare; c != nil {
+		if len(c.Strategies) == 0 {
+			return fmt.Errorf("compare spec names no strategies")
+		}
+		for _, n := range c.Strategies {
+			if _, err := strategy.Get(n); err != nil {
+				return fmt.Errorf("unknown strategy %q", n)
+			}
+		}
+		if len(c.Sizes) == 0 {
+			return fmt.Errorf("compare spec names no cache sizes")
+		}
+		if _, err := ParseSizes(c.Sizes); err != nil {
+			return err
+		}
+		if c.Line == 0 {
+			c.Line = 32
+		}
+		if c.Assoc == 0 {
+			c.Assoc = 1
+		}
+	}
+	if s.Refs == 0 {
+		s.Refs = 3_000_000
+	}
+	return nil
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// JobResult is one rendered experiment output with its digest — the same
+// SHA-256 the CLI's run manifest records, so an HTTP job and a CLI run of
+// the same experiment can be diffed by digest alone.
+type JobResult struct {
+	Digest   string `json:"digest"`
+	Rendered string `json:"rendered,omitempty"`
+}
+
+// Job is one unit of asynchronous work: its spec, lifecycle, recorder and
+// event hub. Fields behind mu change as the job advances; everything else
+// is immutable after submission.
+type Job struct {
+	ID      string
+	Spec    JobSpec
+	rec     *obs.Recorder
+	events  *eventHub
+	created time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	err      string
+	results  map[string]JobResult
+}
+
+// snapshot returns a consistent copy of the mutable state.
+func (j *Job) snapshot() (state JobState, started, finished time.Time, errMsg string, results map[string]JobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res := make(map[string]JobResult, len(j.results))
+	for k, v := range j.results {
+		res[k] = v
+	}
+	return j.state, j.started, j.finished, j.err, res
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.events.publish(Event{Type: "state", State: string(StateRunning)})
+}
+
+func (j *Job) finish(results map[string]JobResult, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+		j.results = results
+	}
+	state, errMsg := j.state, j.err
+	j.mu.Unlock()
+	j.events.publish(Event{Type: "state", State: string(state), Error: errMsg})
+	j.events.publish(Event{Type: "done", State: string(state), Error: errMsg})
+	j.events.close()
+}
+
+// Manager owns the job table and the bounded worker pool. Like
+// expt.parEach, the pool takes work in submission order under a fixed
+// worker count — but jobs arrive over time, so it is a queue of goroutines
+// blocking on a channel rather than an index counter.
+type Manager struct {
+	workers int
+	maxJobs int
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and eviction
+	nextID int
+	closed bool
+
+	queue chan *Job
+	run   func(*Job)
+	wg    sync.WaitGroup
+}
+
+// newManager starts a pool of workers executing run on submitted jobs.
+// maxJobs bounds the retained job table; the oldest finished jobs are
+// evicted past it.
+func newManager(workers, maxJobs int, run func(*Job)) *Manager {
+	if workers <= 0 {
+		workers = 2
+	}
+	if maxJobs <= 0 {
+		maxJobs = 64
+	}
+	m := &Manager{
+		workers: workers,
+		maxJobs: maxJobs,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, maxJobs),
+		run:     run,
+	}
+	m.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				j.setRunning()
+				m.run(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Submit validates the spec, assigns an ID and enqueues the job.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("server shutting down")
+	}
+	m.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", m.nextID),
+		Spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+		rec:     obs.NewRecorder(),
+		events:  newEventHub(),
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.evictLocked()
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+		return j, nil
+	default:
+		// Queue full: drop the job rather than block the HTTP handler.
+		j.finish(nil, fmt.Errorf("job queue full (%d pending)", cap(m.queue)))
+		return nil, fmt.Errorf("job queue full")
+	}
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+func (m *Manager) evictLocked() {
+	for len(m.order) > m.maxJobs {
+		evicted := false
+		for i, id := range m.order {
+			j := m.jobs[id]
+			j.mu.Lock()
+			terminal := j.state == StateDone || j.state == StateFailed
+			j.mu.Unlock()
+			if terminal {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; retain past the bound rather than lose work
+		}
+	}
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns all retained jobs in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Close stops accepting jobs and waits for in-flight ones to finish.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.wg.Wait()
+}

@@ -1,0 +1,412 @@
+// Package serve is the live observability surface of the reproduction: a
+// stdlib-only HTTP daemon that runs studies and compare grids as
+// asynchronous jobs and exposes, while they run, everything the offline
+// pipeline only reported post-hoc — Prometheus metrics at /metrics,
+// per-job progress (phase completions and windowed miss-rate samples)
+// streamed over Server-Sent Events, Chrome trace-event exports of the
+// recorder's spans, and net/http/pprof for the process itself. The
+// north-star system serves heavy traffic continuously; this package turns
+// the PR-3 observability primitives (obs.Recorder, obs.Observer,
+// obs.SimStats) into endpoints that can be scraped, watched and traced.
+//
+//	POST /api/jobs              submit {"experiments":["table1"],"refs":400000}
+//	                            or {"compare":{"strategies":[...],"sizes":["8k"]}}
+//	GET  /api/jobs              list jobs
+//	GET  /api/jobs/{id}         job status; rendered results once done
+//	GET  /api/jobs/{id}/events  SSE progress stream (phases, miss-rate windows)
+//	GET  /api/jobs/{id}/trace   recorder spans as Chrome trace_event JSON
+//	GET  /metrics               Prometheus text exposition
+//	GET  /healthz               liveness
+//	GET  /debug/pprof/          runtime profiling
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"oslayout/internal/expt"
+	"oslayout/internal/obs"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers bounds how many jobs run concurrently (default 2; each job
+	// already parallelises its replays across cores via parEach).
+	Workers int
+	// MaxJobs bounds the retained job table (default 64).
+	MaxJobs int
+	// Registry receives the server's metrics; a fresh one is created when
+	// nil. Exposed at /metrics either way.
+	Registry *obs.Registry
+}
+
+// Server is the daemon: job manager, metrics registry and HTTP handler.
+type Server struct {
+	jobs  *Manager
+	reg   *obs.Registry
+	mux   *http.ServeMux
+	start time.Time
+
+	jobsStarted   *obs.Counter
+	jobsFinished  *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsRunning   *obs.Gauge
+	refsReplayed  *obs.Counter
+	eventsReplay  *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	windowFlushes *obs.Counter
+	phaseSeconds  func(phase string) *obs.Histogram
+	missRateGauge func(strategy, workload, size string) *obs.Gauge
+}
+
+// New builds a Server and starts its worker pool. Call Close to drain.
+func New(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{reg: reg, start: time.Now()}
+	s.jobsStarted = reg.Counter("oslayout_jobs_started_total", "Jobs accepted for execution.")
+	s.jobsFinished = reg.Counter("oslayout_jobs_finished_total", "Jobs completed successfully.")
+	s.jobsFailed = reg.Counter("oslayout_jobs_failed_total", "Jobs that ended in an error.")
+	s.jobsRunning = reg.Gauge("oslayout_jobs_running", "Jobs currently executing.")
+	s.refsReplayed = reg.Counter("oslayout_refs_replayed_total",
+		"Instruction-word references replayed through the cache simulator.")
+	s.eventsReplay = reg.Counter("oslayout_replay_events_total",
+		"Trace block events replayed through the cache simulator.")
+	s.cacheHits = reg.Counter("oslayout_layout_cache_hits_total",
+		"Layout-strategy build requests served from the memo cache.")
+	s.cacheMisses = reg.Counter("oslayout_layout_cache_misses_total",
+		"Layout-strategy build requests that built fresh.")
+	s.windowFlushes = reg.Counter("oslayout_progress_windows_total",
+		"Miss-rate progress windows streamed to job subscribers.")
+	s.phaseSeconds = func(phase string) *obs.Histogram {
+		return reg.Histogram("oslayout_phase_duration_seconds",
+			"Wall-clock duration of pipeline phases.", nil, "phase", phase)
+	}
+	s.missRateGauge = func(strategy, workload, size string) *obs.Gauge {
+		return reg.Gauge("oslayout_strategy_miss_rate",
+			"Total miss rate of a strategy's layout, by workload and cache size, from the latest compare job.",
+			"strategy", strategy, "workload", workload, "size_bytes", size)
+	}
+	reg.GaugeFunc("oslayout_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	s.jobs = newManager(cfg.Workers, cfg.MaxJobs, s.runJob)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /api/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/jobs", s.handleList)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool; in-flight and queued jobs complete first.
+func (s *Server) Close() { s.jobs.Close() }
+
+// runJob executes one job on a worker: build an environment wired to the
+// job's recorder and event hub, run the requested work, account metrics.
+func (s *Server) runJob(j *Job) {
+	s.jobsStarted.Inc()
+	s.jobsRunning.Add(1)
+	defer s.jobsRunning.Add(-1)
+
+	j.rec.SetOnPhase(func(p obs.Phase) {
+		s.phaseSeconds(p.Name).Observe(p.Millis / 1e3)
+		ph := p
+		j.events.publish(Event{Type: "phase", Phase: &ph})
+	})
+
+	results, err := s.execute(j)
+	if err != nil {
+		s.jobsFailed.Inc()
+	} else {
+		s.jobsFinished.Inc()
+	}
+	j.finish(results, err)
+}
+
+// execute runs the job's work and returns the rendered results.
+func (s *Server) execute(j *Job) (map[string]JobResult, error) {
+	env, err := expt.NewEnv(expt.Options{
+		OSRefs:     j.Spec.Refs,
+		KernelSeed: j.Spec.Seed,
+		Recorder:   j.rec,
+		OnWindow: func(f obs.WindowFlush) {
+			s.windowFlushes.Inc()
+			fl := f
+			j.events.publish(Event{Type: "window", Window: &fl})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building study: %w", err)
+	}
+	defer func() {
+		hits, misses := env.LayoutCacheStats()
+		s.cacheHits.Add(hits)
+		s.cacheMisses.Add(misses)
+		counters := j.rec.Counters()
+		s.eventsReplay.Add(counters["replay.events"])
+		s.refsReplayed.Add(counters["replay.refs"])
+	}()
+
+	results := make(map[string]JobResult)
+	if c := j.Spec.Compare; c != nil {
+		sizes, err := ParseSizes(c.Sizes)
+		if err != nil {
+			return nil, err
+		}
+		grid, err := env.RunCompareDetail(c.Strategies, sizes, c.Line, c.Assoc, c.Detail)
+		if err != nil {
+			return nil, err
+		}
+		rendered := grid.Render()
+		results["compare"] = JobResult{Digest: obs.Digest(rendered), Rendered: rendered}
+		for si, size := range grid.Sizes {
+			sizeLabel := strconv.Itoa(size)
+			for wi, w := range grid.Workloads {
+				for k, name := range grid.Strategies {
+					s.missRateGauge(name, w, sizeLabel).Set(grid.Rates[si][wi][k])
+				}
+			}
+		}
+		return results, nil
+	}
+	for _, name := range j.Spec.Experiments {
+		done := j.rec.Span("experiment." + name)
+		r, err := expt.Run(env, name)
+		done()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rendered := r.Render()
+		results[name] = JobResult{Digest: obs.Digest(rendered), Rendered: rendered}
+	}
+	return results, nil
+}
+
+// JobStatus is the status-endpoint JSON shape.
+type JobStatus struct {
+	ID       string               `json:"id"`
+	State    JobState             `json:"state"`
+	Spec     JobSpec              `json:"spec"`
+	Created  time.Time            `json:"created"`
+	Started  *time.Time           `json:"started,omitempty"`
+	Finished *time.Time           `json:"finished,omitempty"`
+	Error    string               `json:"error,omitempty"`
+	Results  map[string]JobResult `json:"results,omitempty"`
+	// Phases are the job recorder's completed spans so far.
+	Phases []obs.Phase `json:"phases,omitempty"`
+	// ReplayEventsPerSec is the job's aggregate replay throughput.
+	ReplayEventsPerSec float64 `json:"replay_events_per_sec,omitempty"`
+}
+
+// status assembles the JSON view of a job. Rendered results are included
+// only when full is set (digests always are).
+func status(j *Job, full bool) JobStatus {
+	state, started, finished, errMsg, results := j.snapshot()
+	if !full {
+		for k, v := range results {
+			v.Rendered = ""
+			results[k] = v
+		}
+	}
+	st := JobStatus{
+		ID:                 j.ID,
+		State:              state,
+		Spec:               j.Spec,
+		Created:            j.created,
+		Error:              errMsg,
+		Results:            results,
+		Phases:             j.rec.Phases(),
+		ReplayEventsPerSec: j.rec.EventsPerSec(),
+	}
+	if !started.IsZero() {
+		st.Started = &started
+	}
+	if !finished.IsZero() {
+		st.Finished = &finished
+	}
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	j, err := s.jobs.Submit(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/api/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, status(j, false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.List()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, status(j, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	full := r.URL.Query().Get("full") != "0"
+	writeJSON(w, http.StatusOK, status(j, full))
+}
+
+// handleEvents is the SSE progress stream: history first, then live events
+// until the job completes or the client disconnects. Each event goes out
+// as `event: <type>` + `data: <json>`.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	history, ch, done := j.events.subscribe()
+	defer j.events.unsubscribe(ch)
+	for _, e := range history {
+		if err := writeSSE(w, e); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	if done {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent Event frame.
+func writeSSE(w http.ResponseWriter, e Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+	return err
+}
+
+// handleTrace exports the job recorder's completed spans in the Chrome
+// trace_event JSON array format; load in chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-trace.json", j.ID))
+	obs.WriteTraceEvents(w, j.rec.Phases())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// ParseSizes parses cache-size strings: plain byte counts, k/K-suffixed
+// kilobytes or m/M-suffixed megabytes ("8192", "8k", "1M"). Shared by the
+// CLI's compare flags and the serve job specs.
+func ParseSizes(parts []string) ([]int, error) {
+	var sizes []int
+	for _, part := range parts {
+		if part == "" {
+			continue
+		}
+		mult := 1
+		num := part
+		switch part[len(part)-1] {
+		case 'k', 'K':
+			mult = 1 << 10
+			num = part[:len(part)-1]
+		case 'm', 'M':
+			mult = 1 << 20
+			num = part[:len(part)-1]
+		}
+		v, err := strconv.Atoi(num)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad cache size %q", part)
+		}
+		if v > math.MaxInt/mult {
+			return nil, fmt.Errorf("cache size %q overflows", part)
+		}
+		sizes = append(sizes, v*mult)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no cache sizes given")
+	}
+	return sizes, nil
+}

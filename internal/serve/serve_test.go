@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"oslayout/internal/expt"
+	"oslayout/internal/obs"
+)
+
+// testRefs keeps job studies fast; large enough for stable digests.
+const testRefs = 50_000
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 2, MaxJobs: 8})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// submit posts a job spec and returns the decoded status.
+func submit(t *testing.T, ts *httptest.Server, spec string) JobStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("submit: decoding %s: %v", body, err)
+	}
+	return st
+}
+
+// await polls a job until it reaches a terminal state.
+func await(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/api/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return JobStatus{}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+}
+
+// promFamily is one parsed metric family from the text exposition.
+type promFamily struct {
+	typ     string
+	samples map[string]float64 // full sample name incl. labels -> value
+}
+
+// parseProm is a hand-rolled parser for the Prometheus text exposition
+// format — enough of it to validate our own output without a dependency:
+// comment/TYPE/HELP lines, and `name{labels} value` samples.
+func parseProm(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := map[string]*promFamily{}
+	fam := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{samples: map[string]float64{}}
+			fams[name] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[1] == "TYPE" {
+				f := fam(fields[2])
+				if f.typ != "" {
+					t.Fatalf("line %d: duplicate TYPE for %s", ln+1, fields[2])
+				}
+				f.typ = fields[3]
+			}
+			continue
+		}
+		// Sample: name[{labels}] value. Labels may contain spaces inside
+		// quotes, so split at the last space instead of the first.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		sample, valStr := line[:sp], line[sp+1:]
+		var val float64
+		switch valStr {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+			val = v
+		}
+		name := sample
+		if br := strings.IndexByte(sample, '{'); br >= 0 {
+			name = sample[:br]
+			if !strings.HasSuffix(sample, "}") {
+				t.Fatalf("line %d: unterminated labels %q", ln+1, sample)
+			}
+		}
+		// Histogram series attach to their base family.
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				if f, ok := fams[strings.TrimSuffix(name, suf)]; ok && f.typ == "histogram" {
+					base = strings.TrimSuffix(name, suf)
+				}
+			}
+		}
+		f, ok := fams[base]
+		if !ok || f.typ == "" {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", ln+1, sample)
+		}
+		f.samples[sample] = val
+	}
+	return fams
+}
+
+func scrape(t *testing.T, ts *httptest.Server) map[string]*promFamily {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseProm(t, string(body))
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t)
+	fams := scrape(t, ts)
+	for name, typ := range map[string]string{
+		"oslayout_jobs_started_total":  "counter",
+		"oslayout_jobs_finished_total": "counter",
+		"oslayout_jobs_failed_total":   "counter",
+		"oslayout_jobs_running":        "gauge",
+		"oslayout_uptime_seconds":      "gauge",
+	} {
+		f, ok := fams[name]
+		if !ok {
+			t.Errorf("metrics missing %s", name)
+			continue
+		}
+		if f.typ != typ {
+			t.Errorf("%s type %q, want %q", name, f.typ, typ)
+		}
+	}
+	if up := fams["oslayout_uptime_seconds"].samples["oslayout_uptime_seconds"]; up < 0 {
+		t.Errorf("uptime %v < 0", up)
+	}
+}
+
+// TestJobLifecycle is the end-to-end digest-equality check: an experiment
+// run through the HTTP job surface must render bit-identically to the same
+// experiment run directly in-process (which is what the CLI does).
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	st := submit(t, ts, fmt.Sprintf(`{"experiments":["table2"],"refs":%d}`, testRefs))
+	if st.ID == "" || (st.State != StateQueued && st.State != StateRunning) {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	res, ok := final.Results["table2"]
+	if !ok {
+		t.Fatalf("no table2 result in %+v", final.Results)
+	}
+	if res.Rendered == "" {
+		t.Fatal("done status carries no rendered output")
+	}
+	if obs.Digest(res.Rendered) != res.Digest {
+		t.Error("result digest does not match its rendered text")
+	}
+
+	// The same experiment, run directly (the CLI path: no observers).
+	env, err := expt.NewEnv(expt.Options{OSRefs: testRefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := expt.Run(env, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := obs.Digest(r.Render()); res.Digest != want {
+		t.Errorf("HTTP job digest %s != direct run digest %s — serve path is not bit-identical", res.Digest, want)
+	}
+
+	if len(final.Phases) == 0 {
+		t.Error("finished job has no recorded phases")
+	}
+
+	// Metrics reflect the completed job.
+	fams := scrape(t, ts)
+	if v := fams["oslayout_jobs_finished_total"].samples["oslayout_jobs_finished_total"]; v < 1 {
+		t.Errorf("jobs_finished_total = %v, want >= 1", v)
+	}
+	if v := fams["oslayout_refs_replayed_total"].samples["oslayout_refs_replayed_total"]; v <= 0 {
+		t.Errorf("refs_replayed_total = %v, want > 0", v)
+	}
+	if f, ok := fams["oslayout_phase_duration_seconds"]; !ok || f.typ != "histogram" {
+		t.Error("phase duration histogram missing")
+	}
+}
+
+func TestCompareJobSetsMissRateGauges(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := submit(t, ts, fmt.Sprintf(
+		`{"compare":{"strategies":["base","ch"],"sizes":["8k"]},"refs":%d}`, testRefs))
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("compare job ended %s: %s", final.State, final.Error)
+	}
+	if _, ok := final.Results["compare"]; !ok {
+		t.Fatalf("no compare result in %+v", final.Results)
+	}
+	fams := scrape(t, ts)
+	f, ok := fams["oslayout_strategy_miss_rate"]
+	if !ok {
+		t.Fatal("strategy miss-rate gauge missing")
+	}
+	var sawBase bool
+	for sample, v := range f.samples {
+		if strings.Contains(sample, `strategy="base"`) && strings.Contains(sample, `size_bytes="8192"`) {
+			sawBase = true
+			if v <= 0 || v >= 1 {
+				t.Errorf("miss rate %s = %v, want in (0,1)", sample, v)
+			}
+		}
+	}
+	if !sawBase {
+		t.Errorf("no base@8192 gauge in %v", f.samples)
+	}
+}
+
+// TestSSEProgressWindows attaches to a job's event stream and checks live
+// progress: at least two miss-rate windows arrive, and for any one
+// (workload, config) replay the window indexes advance strictly
+// monotonically.
+func TestSSEProgressWindows(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := submit(t, ts, fmt.Sprintf(`{"experiments":["table2"],"refs":%d}`, testRefs))
+
+	resp, err := http.Get(ts.URL + "/api/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		events = append(events, e)
+		if e.Type == "done" {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var windows, phases int
+	lastIdx := map[string]int{}
+	lastSeq := -1
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			t.Fatalf("event seq %d after %d — stream not ordered", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Type {
+		case "window":
+			windows++
+			key := e.Window.Workload + "|" + e.Window.Config
+			if prev, ok := lastIdx[key]; ok && e.Window.Index <= prev {
+				t.Fatalf("%s: window index %d after %d — not monotone", key, e.Window.Index, prev)
+			}
+			lastIdx[key] = e.Window.Index
+		case "phase":
+			phases++
+		}
+	}
+	if windows < 2 {
+		t.Errorf("saw %d progress windows, want >= 2", windows)
+	}
+	if phases == 0 {
+		t.Error("saw no phase events")
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || last.State != string(StateDone) {
+		t.Errorf("stream ended with %+v, want done/done", last)
+	}
+
+	// A late subscriber replays the history, including the terminal event.
+	resp2, err := http.Get(ts.URL + "/api/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	late, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(late), `"type":"done"`) {
+		t.Error("late subscriber did not receive the terminal event")
+	}
+}
+
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, spec := range []string{
+		`{}`,
+		`{"experiments":["fig99"]}`,
+		`{"experiments":["table2"],"compare":{"strategies":["base"],"sizes":["8k"]}}`,
+		`{"compare":{"strategies":["nonesuch"],"sizes":["8k"]}}`,
+		`{"compare":{"strategies":["base"],"sizes":["zero"]}}`,
+		`{"compare":{"strategies":["base"]}}`,
+		`{"unknown_field":1}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: status %d, want 400", spec, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/api/jobs/job-999", "/api/jobs/job-999/events", "/api/jobs/job-999/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := submit(t, ts, fmt.Sprintf(`{"experiments":["table2"],"refs":%d}`, testRefs))
+	await(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/api/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs []obs.TraceEvent
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatalf("trace is not a trace_event JSON array: %v", err)
+	}
+	var spans int
+	for _, e := range evs {
+		switch e.Phase {
+		case "X":
+			spans++
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Errorf("span %q has negative timing (%v, %v)", e.Name, e.Ts, e.Dur)
+			}
+		case "M":
+		default:
+			t.Errorf("unexpected event phase %q", e.Phase)
+		}
+	}
+	if spans < 3 {
+		t.Errorf("trace has %d spans, want at least study build + trace gen + experiment", spans)
+	}
+}
+
+func TestJobListAndEviction(t *testing.T) {
+	s := New(Config{Workers: 1, MaxJobs: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st := submit(t, ts, fmt.Sprintf(`{"experiments":["table3"],"refs":%d}`, testRefs))
+		ids = append(ids, st.ID)
+		await(t, ts, st.ID)
+	}
+	resp, err := http.Get(ts.URL + "/api/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("retained %d jobs, want 2 (maxJobs)", len(list))
+	}
+	for _, st := range list {
+		if st.ID == ids[0] {
+			t.Error("oldest job not evicted")
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := ParseSizes([]string{"4k", "8192", "1M"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4096, 8192, 1 << 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ParseSizes[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	for _, bad := range [][]string{{"0"}, {"-4k"}, {"x"}, {}, {"999999999999999999999k"}} {
+		if _, err := ParseSizes(bad); err == nil {
+			t.Errorf("ParseSizes(%v) accepted", bad)
+		}
+	}
+}

@@ -148,3 +148,47 @@ func BenchmarkRunManyNilObserver(b *testing.B) {
 		}
 	}
 }
+
+// TestRunObservedWindowFlush streams a real replay through a SimStats with
+// the window-flush hook installed: the hook must deliver every window but
+// the last, in strictly increasing order, with contents identical to the
+// final Windows series, and the hook must not perturb the replay result.
+func TestRunObservedWindowFlush(t *testing.T) {
+	tr, osL, appL := mixedTrace(30_000, 42)
+	cfg := cache.Config{Size: 4 << 10, Line: 32, Assoc: 1}
+
+	plain, err := Run(tr, osL, appL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const windows = 8
+	s := obs.NewSimStats(windows)
+	var idxs []int
+	var flushed []obs.Window
+	s.OnWindowFlush = func(idx int, w obs.Window) {
+		idxs = append(idxs, idx)
+		flushed = append(flushed, w)
+	}
+	got, err := RunObserved(tr, osL, appL, cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, got) {
+		t.Error("window-flush hook perturbed the replay result")
+	}
+	if len(idxs) != windows-1 {
+		t.Fatalf("flushed %d windows, want %d (all but the last)", len(idxs), windows-1)
+	}
+	for i, idx := range idxs {
+		if idx != i {
+			t.Fatalf("flush order %v — not strictly increasing from 0", idxs)
+		}
+		if flushed[i] != s.Windows[i] {
+			t.Errorf("flushed window %d = %+v, final Windows[%d] = %+v", i, flushed[i], i, s.Windows[i])
+		}
+		if flushed[i].Refs == 0 {
+			t.Errorf("flushed window %d carries no references", i)
+		}
+	}
+}

@@ -27,13 +27,19 @@ type cacheKey struct {
 
 // Cache memoizes strategy builds for one study. Building mutates the kernel
 // program's weight fields (profiles are applied in place), so the cache
-// serialises builds under one lock; evaluation of the returned layouts is
-// read-only and needs no coordination.
+// serialises builds under one lock — which also makes it the safe entry
+// point for concurrent builds (the serve daemon runs jobs in parallel):
+// every field, including the recorder and the hit/miss statistics, is
+// accessed under mu. Evaluation of the returned layouts is read-only and
+// needs no coordination.
 type Cache struct {
-	st    Study
-	rec   *obs.Recorder
+	st Study
+
 	mu    sync.Mutex
+	rec   *obs.Recorder
 	built map[cacheKey]*Built
+	hits  uint64
+	miss  uint64
 }
 
 // NewCache returns an empty cache over the study.
@@ -43,7 +49,21 @@ func NewCache(st Study) *Cache {
 
 // SetRecorder attaches a recorder; cache-miss builds are then timed as
 // "layout.<name>" spans. A nil recorder (the default) records nothing.
-func (c *Cache) SetRecorder(r *obs.Recorder) { c.rec = r }
+// Safe to call concurrently with builds.
+func (c *Cache) SetRecorder(r *obs.Recorder) {
+	c.mu.Lock()
+	c.rec = r
+	c.mu.Unlock()
+}
+
+// Stats returns how many Build/Custom requests were served from the memo
+// map versus built fresh — the layout-build cache-efficiency signal the
+// serve daemon exports as Prometheus counters.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}
 
 // Build returns the memoized product of the named strategy, building it on
 // first use. Errors are not cached.
@@ -59,8 +79,10 @@ func (c *Cache) Build(name string, p Params) (*Built, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if b, ok := c.built[key]; ok {
+		c.hits++
 		return b, nil
 	}
+	c.miss++
 	done := c.rec.Span("layout." + name)
 	l, plan, err := s.Build(c.st, p)
 	done()
@@ -81,8 +103,10 @@ func (c *Cache) Custom(key string, build func(Study) (*layout.Layout, *core.Plan
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if b, ok := c.built[k]; ok {
+		c.hits++
 		return b, nil
 	}
+	c.miss++
 	l, plan, err := build(c.st)
 	if err != nil {
 		return nil, err

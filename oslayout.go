@@ -151,6 +151,10 @@ type Study struct {
 	Data      []*WorkloadData
 	AvgOS     *Profile
 	traceOpts TraceOptions
+	// layouts memoizes registered-strategy builds for this study and
+	// serialises them under one lock (building applies profiles in place,
+	// mutating kernel weights — see internal/strategy.Cache).
+	layouts *strategy.Cache
 }
 
 // NewStudy builds the kernel, traces every workload, profiles the traces and
@@ -194,6 +198,8 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 		return nil, fmt.Errorf("oslayout: averaging profiles: %w", err)
 	}
 	st.AvgOS = avg
+	st.layouts = strategy.NewCache(st)
+	st.layouts.SetRecorder(rec)
 	return st, nil
 }
 
@@ -265,13 +271,25 @@ func Strategies() []StrategyInfo {
 // the given cache size (ignored by size-independent strategies) from the
 // averaged profile. The returned Plan is non-nil only for strategies built
 // on the paper's placement algorithm (opts, optl, optcall).
+//
+// Builds go through the study's memoized strategy cache: repeated requests
+// for the same (strategy, size) share one product, and concurrent calls
+// are safe — layout construction mutates the kernel program's weight
+// fields, so the cache serialises builds under one lock.
 func (s *Study) BuildStrategy(name string, cacheSize int) (*Layout, *Plan, error) {
-	st, err := strategy.Get(name)
+	b, err := s.layouts.Build(name, strategy.Params{CacheSize: cacheSize})
 	if err != nil {
 		return nil, nil, err
 	}
-	return st.Build(s, strategy.Params{CacheSize: cacheSize})
+	return b.Layout, b.Plan, nil
 }
+
+// StrategyCache returns the study's memoized strategy-build cache, the
+// serialisation point for all layout construction on this study. The
+// experiment environment builds through it (rather than a cache of its
+// own) so in-process builds and BuildStrategy calls share one lock and
+// one memo map.
+func (s *Study) StrategyCache() *strategy.Cache { return s.layouts }
 
 // BaseLayout returns the kernel's original (link-order) layout.
 func (s *Study) BaseLayout() *Layout { return layout.NewBase(s.Kernel.Prog, 0) }
