@@ -15,6 +15,7 @@ package oslayout_test
 
 import (
 	"bytes"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"oslayout/internal/mcflayout"
 	"oslayout/internal/profile"
 	"oslayout/internal/simulate"
+	"oslayout/internal/streamcache"
 	"oslayout/internal/trace"
 	"oslayout/internal/workload"
 )
@@ -195,6 +197,64 @@ func BenchmarkRunMany(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := simulate.RunMany(tr, osL, nil, runManyGrid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunManyParallel drives the same grid with the drive units
+// fanned across a worker pool (the CLI's -par flag): the direct-mapped
+// inclusion chain is one unit, every other cache its own unit, all
+// replaying one compiled stream concurrently. Results are bit-identical to
+// the sequential drive; the speedup shows only on multi-core hosts.
+func BenchmarkRunManyParallel(b *testing.B) {
+	env := sharedEnv(b)
+	osL := runManyLayout(b, env)
+	tr := env.St.Data[3].Trace
+	opt := simulate.Options{Workers: runtime.GOMAXPROCS(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.RunManyOpt(tr, osL, nil, runManyGrid, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunManyMemoized is the warm replay path: compiled streams come
+// from a stream cache populated before the timer starts, so steady state
+// measures pure cache driving with decode, span expansion and elision
+// amortised away — the cost a repeated serve job or a later sweep over the
+// same (trace, layout, line size) pays.
+func BenchmarkRunManyMemoized(b *testing.B) {
+	env := sharedEnv(b)
+	osL := runManyLayout(b, env)
+	tr := env.St.Data[3].Trace
+	opt := simulate.Options{Streams: streamcache.New(0)}
+	if _, err := simulate.RunManyOpt(tr, osL, nil, runManyGrid, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.RunManyOpt(tr, osL, nil, runManyGrid, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompareGrid runs the 8-strategy × 3-size compare grid that
+// serve compare jobs execute. The environment — and with it the study's
+// layout and stream caches — is shared across iterations, so the first
+// iteration builds layouts and compiles streams and the rest replay from
+// the memo: steady-state ns/op is the repeated-job fast path the serve
+// daemon's pooled studies hit (BENCH_stream.json records the cold path
+// from CLI timings).
+func BenchmarkCompareGrid(b *testing.B) {
+	env := sharedEnv(b)
+	strategies := []string{"base", "shuffle", "mcf", "ch", "ph", "opts", "optl", "optcall"}
+	sizes := []int{4 << 10, 8 << 10, 16 << 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.RunCompare(strategies, sizes, 32, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

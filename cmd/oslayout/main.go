@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -72,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonDir    = fs.String("json", "", "directory to additionally write each experiment's result as <name>.json")
 		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
 		tracePath  = fs.String("trace", "", "file to write the run's phase timings to as Chrome trace_event JSON (chrome://tracing, Perfetto)")
+		par        = fs.Int("par", runtime.GOMAXPROCS(0), "parallelism bound for experiment fan-out and the replay drive pool (1 = fully sequential; results identical at any setting)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: oslayout [flags] <experiment>...|all|stats|list\n\nexperiments: %v\n\nflags:\n",
@@ -135,7 +137,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rec = oslayout.NewRecorder()
 	}
 	start := time.Now()
-	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed, Recorder: rec})
+	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed, Recorder: rec, Par: *par})
 	if err != nil {
 		return fmt.Errorf("building study: %w", err)
 	}
@@ -203,6 +205,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		jsonDir    = fs.String("json", "", "directory to additionally write the result as compare.json")
 		detail     = fs.Bool("detail", false, "print per-strategy conflict attribution next to the miss rates")
 		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
+		par        = fs.Int("par", runtime.GOMAXPROCS(0), "parallelism bound for grid fan-out and the replay drive pool (1 = fully sequential; results identical at any setting)")
 	)
 	fs.Usage = func() {
 		var names []string
@@ -242,7 +245,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		rec = oslayout.NewRecorder()
 	}
 	start := time.Now()
-	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed, Recorder: rec})
+	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed, Recorder: rec, Par: *par})
 	if err != nil {
 		return fmt.Errorf("building study: %w", err)
 	}

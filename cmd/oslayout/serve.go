@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 
 	"oslayout/internal/serve"
@@ -22,6 +23,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		addr    = fs.String("addr", ":8080", "listen address")
 		workers = fs.Int("workers", 2, "concurrent jobs (each job parallelises replays across cores)")
 		maxJobs = fs.Int("maxjobs", 64, "retained job table size; oldest finished jobs are evicted past it")
+		par     = fs.Int("par", runtime.GOMAXPROCS(0), "default per-job parallelism bound (fan-out + replay drive pool); job specs override with \"par\"")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, `usage: oslayout serve [flags]
@@ -48,7 +50,7 @@ flags:
 		return fmt.Errorf("serve takes no positional arguments (got %v)", fs.Args())
 	}
 
-	s := serve.New(serve.Config{Workers: *workers, MaxJobs: *maxJobs})
+	s := serve.New(serve.Config{Workers: *workers, MaxJobs: *maxJobs, DrivePar: *par})
 	defer s.Close()
 
 	// Listen before announcing, so ":0" prints the resolved port and a

@@ -134,7 +134,7 @@ func (e *Env) RunCompareDetail(strategies []string, sizes []int, line, assoc int
 			}
 		}
 	}
-	err := parEach(len(tasks), func(j int) error {
+	err := e.parEach(len(tasks), func(j int) error {
 		tk := tasks[j]
 		cfgs := make([]cache.Config, len(tk.sis))
 		for i, si := range tk.sis {

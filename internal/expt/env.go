@@ -6,6 +6,7 @@ package expt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -42,6 +43,21 @@ type Options struct {
 	// bit-identical (observation never changes cache state); the CLI paths
 	// leave this nil, so the unobserved fast paths are untouched there.
 	OnWindow func(obs.WindowFlush)
+	// Par bounds the environment's parallelism — both the experiment-level
+	// parEach fan-out and the replay engine's drive worker pool (the CLI's
+	// -par flag). 0 selects GOMAXPROCS; 1 forces fully sequential runs.
+	// Results are bit-identical at every setting.
+	Par int
+	// Study, when non-nil, is a prebuilt study to evaluate against instead
+	// of building one: the environment then shares its traces, its
+	// layout-strategy cache and its compiled-stream cache with every other
+	// environment over the same study (the serve daemon pools studies
+	// across compare jobs this way). OSRefs and KernelSeed are ignored —
+	// the caller keys the pool by them. Layout evaluation is read-only and
+	// concurrency-safe, but experiments that re-apply kernel profiles
+	// in place (the analysis extensions) must not run concurrently on one
+	// shared study.
+	Study *oslayout.Study
 }
 
 // Env is the shared environment of all experiments: one study plus the
@@ -55,6 +71,7 @@ type Env struct {
 	rec      *obs.Recorder
 	layouts  *strategy.Cache
 	onWindow func(obs.WindowFlush)
+	par      int
 	loops    []cfa.Loop
 	// refsTot lazily caches per-workload total references (recordReplay).
 	refsOnce sync.Once
@@ -66,26 +83,28 @@ type Env struct {
 
 // NewEnv builds the environment: kernel, traces, profiles.
 func NewEnv(opt Options) (*Env, error) {
-	if opt.OSRefs == 0 {
-		opt.OSRefs = 3_000_000
+	if opt.Par <= 0 {
+		opt.Par = runtime.GOMAXPROCS(0)
 	}
-	kcfg := oslayout.DefaultKernelConfig()
-	if opt.KernelSeed != 0 {
-		kcfg.Seed = opt.KernelSeed
-	}
-	done := opt.Recorder.Span("study.build")
-	st, err := oslayout.NewStudy(oslayout.StudyOptions{
-		Kernel:   kcfg,
-		Trace:    oslayout.TraceOptions{OSRefs: opt.OSRefs},
-		Recorder: opt.Recorder,
-	})
-	done()
-	if err != nil {
-		return nil, err
+	st := opt.Study
+	if st != nil {
+		// Adopt the shared study under this environment's drive-pool
+		// bound; the view shares every cache with its siblings.
+		st = st.WithDrivePar(opt.Par)
+	} else {
+		var err error
+		done := opt.Recorder.Span("study.build")
+		st, err = BuildStudy(opt)
+		done()
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Share the study's own strategy cache rather than carrying a second
 	// one: BuildStrategy calls and experiment builds then serialise under
-	// one lock and share one memo map.
+	// one lock and share one memo map. On a pooled study the recorder is
+	// last-writer-wins across jobs; build spans may land on a sibling's
+	// trace, the builds themselves stay memoized and correct.
 	layouts := st.StrategyCache()
 	layouts.SetRecorder(opt.Recorder)
 	return &Env{
@@ -93,8 +112,29 @@ func NewEnv(opt Options) (*Env, error) {
 		rec:      opt.Recorder,
 		layouts:  layouts,
 		onWindow: opt.OnWindow,
+		par:      opt.Par,
 		results:  make(map[string]Renderer),
 	}, nil
+}
+
+// BuildStudy constructs the study an environment with these options would
+// use, without the environment: kernel synthesis, tracing and profiling.
+// The serve daemon builds pooled studies through this and hands them to
+// NewEnv via Options.Study.
+func BuildStudy(opt Options) (*oslayout.Study, error) {
+	if opt.OSRefs == 0 {
+		opt.OSRefs = 3_000_000
+	}
+	kcfg := oslayout.DefaultKernelConfig()
+	if opt.KernelSeed != 0 {
+		kcfg.Seed = opt.KernelSeed
+	}
+	return oslayout.NewStudy(oslayout.StudyOptions{
+		Kernel:   kcfg,
+		Trace:    oslayout.TraceOptions{OSRefs: opt.OSRefs},
+		Recorder: opt.Recorder,
+		DrivePar: opt.Par,
+	})
 }
 
 // Strategy returns the memoized build of a registered layout strategy for
@@ -281,6 +321,10 @@ func (e *Env) workloadRefs(i int) uint64 {
 
 // LayoutCacheStats returns the strategy build cache's hit/miss counts.
 func (e *Env) LayoutCacheStats() (hits, misses uint64) { return e.layouts.Stats() }
+
+// StreamCacheStats returns the study's compiled-stream cache hit/miss
+// counts.
+func (e *Env) StreamCacheStats() (hits, misses uint64) { return e.St.StreamCacheStats() }
 
 // Workloads returns the workload names.
 func (e *Env) Workloads() []string { return e.St.WorkloadNames() }

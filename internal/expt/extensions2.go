@@ -120,7 +120,7 @@ func (e *Env) RunLineUtil() (*LineUtil, error) {
 	for li := range u.Util {
 		u.Util[li] = make([][3]float64, nw)
 	}
-	err = parEach(len(u.Lines)*nw*3, func(j int) error {
+	err = e.parEach(len(u.Lines)*nw*3, func(j int) error {
 		li, wi, k := j/(nw*3), (j/3)%nw, j%3
 		cfg := cache.Config{Size: 8 << 10, Line: u.Lines[li], Assoc: 1}
 		_, util, err := simulate.RunUtil(e.St.Data[wi].Trace, layouts[k], appLs[wi], cfg)

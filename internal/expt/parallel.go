@@ -5,17 +5,34 @@ import (
 	"sync"
 )
 
-// parEach runs f(0..n-1) concurrently, bounded by GOMAXPROCS workers, and
-// returns the error of the LOWEST failing index — the same error a
-// sequential loop would return — so a failing sweep reports deterministically
-// regardless of worker scheduling. Cache simulations are pure (each run
-// builds its own cache and only reads the shared trace, layout and program),
-// so the sweep experiments fan their grid points out across cores. Plan and
-// layout CONSTRUCTION is not parallel-safe — it mutates the kernel program's
-// weight fields — so callers build all layouts first, then evaluate in
-// parallel.
+// parEach runs f(0..n-1) concurrently, bounded by GOMAXPROCS workers; see
+// parEachN. Environment-driven callers should prefer (*Env).parEach, which
+// respects the user's -par bound instead of this hardcoded policy.
 func parEach(n int, f func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+	return parEachN(runtime.GOMAXPROCS(0), n, f)
+}
+
+// parEach runs f(0..n-1) concurrently, bounded by the environment's
+// configured parallelism (Options.Par, the CLI's -par): job-level fan-out
+// and the replay engine's drive-level worker pool answer to the same knob,
+// so -par 1 forces a fully sequential run.
+func (e *Env) parEach(n int, f func(i int) error) error {
+	return parEachN(e.par, n, f)
+}
+
+// parEachN runs f(0..n-1) concurrently, bounded by the given worker count
+// (non-positive selects GOMAXPROCS), and returns the error of the LOWEST
+// failing index — the same error a sequential loop would return — so a
+// failing sweep reports deterministically regardless of worker scheduling.
+// Cache simulations are pure (each run builds its own cache and only reads
+// the shared trace, layout and program), so the sweep experiments fan their
+// grid points out across cores. Plan and layout CONSTRUCTION is not
+// parallel-safe — it mutates the kernel program's weight fields — so
+// callers build all layouts first, then evaluate in parallel.
+func parEachN(workers, n int, f func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

@@ -72,7 +72,7 @@ func (e *Env) RunFigure15() (*Figure15, error) {
 			tasks = append(tasks, task{wi, 2, []int{si}})
 		}
 	}
-	err = parEach(len(tasks), func(j int) error {
+	err = e.parEach(len(tasks), func(j int) error {
 		tk := tasks[j]
 		cfgs := make([]cache.Config, len(tk.sis))
 		for k, si := range tk.sis {
@@ -187,7 +187,7 @@ func (e *Env) RunFigure16() (*Figure16, error) {
 	for si, size := range f.Sizes {
 		baseCfgs[si] = cache.Config{Size: size, Line: 32, Assoc: 1}
 	}
-	if err := parEach(nw, func(wi int) error {
+	if err := e.parEach(nw, func(wi int) error {
 		ress, err := e.EvalMany(wi, base, nil, baseCfgs)
 		if err != nil {
 			return err
@@ -199,7 +199,7 @@ func (e *Env) RunFigure16() (*Figure16, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if err := parEach(len(f.Sizes)*nw*nc, func(j int) error {
+	if err := e.parEach(len(f.Sizes)*nw*nc, func(j int) error {
 		si, wi, ci := j/(nw*nc), (j/nc)%nw, j%nc
 		cfg := cache.Config{Size: f.Sizes[si], Line: 32, Assoc: 1}
 		res, err := e.Eval(wi, allPlans[si][ci], nil, cfg)
@@ -292,7 +292,7 @@ func (e *Env) RunFigure17() (*Figure17, error) {
 	for ai := range f.AssocRates {
 		f.AssocRates[ai] = make([][3]float64, nw)
 	}
-	err = parEach(nw*3, func(j int) error {
+	err = e.parEach(nw*3, func(j int) error {
 		wi, k := j/3, j%3
 		ress, err := e.EvalMany(wi, layouts[k], nil, cfgs)
 		if err != nil {

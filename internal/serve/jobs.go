@@ -21,6 +21,12 @@ type JobSpec struct {
 	// CLI). Seed overrides the kernel generation seed (0 = default).
 	Refs uint64 `json:"refs,omitempty"`
 	Seed int64  `json:"seed,omitempty"`
+	// Par bounds the job's drive-level parallelism (the CLI's -par): the
+	// experiment fan-out and replay drive pool inside this one job. 0
+	// inherits the server's default; 1 forces a sequential job. This is
+	// orthogonal to the server's -workers flag, which bounds how many jobs
+	// run concurrently.
+	Par int `json:"par,omitempty"`
 }
 
 // CompareSpec mirrors the CLI compare subcommand's flags.
@@ -73,6 +79,9 @@ func (s *JobSpec) validate() error {
 	}
 	if s.Refs == 0 {
 		s.Refs = 3_000_000
+	}
+	if s.Par < 0 {
+		return fmt.Errorf("par must be non-negative, got %d", s.Par)
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"time"
 
+	"oslayout"
 	"oslayout/internal/expt"
 	"oslayout/internal/obs"
 )
@@ -40,6 +41,18 @@ type Config struct {
 	Workers int
 	// MaxJobs bounds the retained job table (default 64).
 	MaxJobs int
+	// DrivePar is the default per-job parallelism bound (experiment fan-out
+	// plus the replay engine's drive worker pool) for jobs whose spec
+	// leaves "par" unset; 0 lets each job use GOMAXPROCS. Job-level
+	// concurrency (Workers) multiplies with this, so hosts running many
+	// concurrent jobs may want DrivePar lowered.
+	DrivePar int
+	// StudyCache bounds how many studies the server pools across compare
+	// jobs (default 2). Jobs agreeing on (refs, seed) share one study —
+	// and with it the layout-strategy and compiled-stream caches, so a
+	// repeated or concurrent compare grid replays from memoized streams
+	// instead of regenerating and recompiling everything.
+	StudyCache int
 	// Registry receives the server's metrics; a fresh one is created when
 	// nil. Exposed at /metrics either way.
 	Registry *obs.Registry
@@ -47,10 +60,12 @@ type Config struct {
 
 // Server is the daemon: job manager, metrics registry and HTTP handler.
 type Server struct {
-	jobs  *Manager
-	reg   *obs.Registry
-	mux   *http.ServeMux
-	start time.Time
+	jobs     *Manager
+	reg      *obs.Registry
+	mux      *http.ServeMux
+	start    time.Time
+	drivePar int
+	studies  *studyPool
 
 	jobsStarted   *obs.Counter
 	jobsFinished  *obs.Counter
@@ -60,6 +75,8 @@ type Server struct {
 	eventsReplay  *obs.Counter
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
+	streamHits    *obs.Counter
+	streamMisses  *obs.Counter
 	windowFlushes *obs.Counter
 	phaseSeconds  func(phase string) *obs.Histogram
 	missRateGauge func(strategy, workload, size string) *obs.Gauge
@@ -71,7 +88,7 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	s := &Server{reg: reg, start: time.Now()}
+	s := &Server{reg: reg, start: time.Now(), drivePar: cfg.DrivePar, studies: newStudyPool(cfg.StudyCache)}
 	s.jobsStarted = reg.Counter("oslayout_jobs_started_total", "Jobs accepted for execution.")
 	s.jobsFinished = reg.Counter("oslayout_jobs_finished_total", "Jobs completed successfully.")
 	s.jobsFailed = reg.Counter("oslayout_jobs_failed_total", "Jobs that ended in an error.")
@@ -84,6 +101,10 @@ func New(cfg Config) *Server {
 		"Layout-strategy build requests served from the memo cache.")
 	s.cacheMisses = reg.Counter("oslayout_layout_cache_misses_total",
 		"Layout-strategy build requests that built fresh.")
+	s.streamHits = reg.Counter("oslayout_streamcache_hits_total",
+		"Compiled-stream requests served from the per-study stream memo.")
+	s.streamMisses = reg.Counter("oslayout_streamcache_misses_total",
+		"Compiled-stream requests that compiled fresh.")
 	s.windowFlushes = reg.Counter("oslayout_progress_windows_total",
 		"Miss-rate progress windows streamed to job subscribers.")
 	s.phaseSeconds = func(phase string) *obs.Histogram {
@@ -147,23 +168,55 @@ func (s *Server) runJob(j *Job) {
 
 // execute runs the job's work and returns the rendered results.
 func (s *Server) execute(j *Job) (map[string]JobResult, error) {
-	env, err := expt.NewEnv(expt.Options{
+	par := j.Spec.Par
+	if par == 0 {
+		par = s.drivePar
+	}
+	opts := expt.Options{
 		OSRefs:     j.Spec.Refs,
 		KernelSeed: j.Spec.Seed,
 		Recorder:   j.rec,
+		Par:        par,
 		OnWindow: func(f obs.WindowFlush) {
 			s.windowFlushes.Inc()
 			fl := f
 			j.events.publish(Event{Type: "window", Window: &fl})
 		},
-	})
+	}
+	// Compare jobs share pooled studies: layout builds serialise under the
+	// strategy-cache lock and evaluation is read-only, so concurrent
+	// compare jobs over one study are safe — and repeat jobs replay from
+	// its memoized compiled streams. Experiment jobs keep a private study
+	// (several experiments re-apply kernel profiles in place, which must
+	// not race across jobs).
+	var pooled *studyEntry
+	if j.Spec.Compare != nil {
+		done := j.rec.Span("study.build")
+		entry, err := s.studies.get(studyKey{refs: j.Spec.Refs, seed: j.Spec.Seed}, func() (*oslayout.Study, error) {
+			return expt.BuildStudy(opts)
+		})
+		done()
+		if err != nil {
+			return nil, fmt.Errorf("building study: %w", err)
+		}
+		pooled = entry
+		opts.Study = entry.st
+	}
+	env, err := expt.NewEnv(opts)
 	if err != nil {
 		return nil, fmt.Errorf("building study: %w", err)
 	}
 	defer func() {
-		hits, misses := env.LayoutCacheStats()
-		s.cacheHits.Add(hits)
-		s.cacheMisses.Add(misses)
+		if pooled != nil {
+			pooled.flush(s.cacheHits, s.cacheMisses, s.streamHits, s.streamMisses)
+		} else {
+			hits, misses := env.LayoutCacheStats()
+			s.cacheHits.Add(hits)
+			s.cacheMisses.Add(misses)
+			sh, sm := env.StreamCacheStats()
+			s.streamHits.Add(sh)
+			s.streamMisses.Add(sm)
+		}
 		counters := j.rec.Counters()
 		s.eventsReplay.Add(counters["replay.events"])
 		s.refsReplayed.Add(counters["replay.refs"])

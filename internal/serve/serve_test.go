@@ -494,3 +494,56 @@ func TestParseSizes(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareJobsShareStudyAndStreams is the cross-job memoization check:
+// two identical compare jobs must render identically, and the second must
+// replay entirely from the pooled study's compiled streams — new stream
+// hits, zero new stream misses or layout builds.
+func TestCompareJobsShareStudyAndStreams(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec := fmt.Sprintf(`{"compare":{"strategies":["base","opts"],"sizes":["4k","8k"]},"refs":%d}`, testRefs)
+
+	first := await(t, ts, submit(t, ts, spec).ID)
+	if first.State != StateDone {
+		t.Fatalf("first job ended %s: %s", first.State, first.Error)
+	}
+	fams := scrape(t, ts)
+	hits0 := fams["oslayout_streamcache_hits_total"].samples["oslayout_streamcache_hits_total"]
+	miss0 := fams["oslayout_streamcache_misses_total"].samples["oslayout_streamcache_misses_total"]
+	build0 := fams["oslayout_layout_cache_misses_total"].samples["oslayout_layout_cache_misses_total"]
+	if miss0 == 0 {
+		t.Fatal("first compare job compiled no streams")
+	}
+
+	second := await(t, ts, submit(t, ts, spec).ID)
+	if second.State != StateDone {
+		t.Fatalf("second job ended %s: %s", second.State, second.Error)
+	}
+	if first.Results["compare"].Digest != second.Results["compare"].Digest {
+		t.Errorf("repeat compare job rendered differently: %s vs %s",
+			first.Results["compare"].Digest, second.Results["compare"].Digest)
+	}
+	fams = scrape(t, ts)
+	hits1 := fams["oslayout_streamcache_hits_total"].samples["oslayout_streamcache_hits_total"]
+	miss1 := fams["oslayout_streamcache_misses_total"].samples["oslayout_streamcache_misses_total"]
+	build1 := fams["oslayout_layout_cache_misses_total"].samples["oslayout_layout_cache_misses_total"]
+	if hits1 <= hits0 {
+		t.Errorf("second job hit no compiled streams (hits %v -> %v)", hits0, hits1)
+	}
+	if miss1 != miss0 {
+		t.Errorf("second job compiled %v fresh streams, want full reuse", miss1-miss0)
+	}
+	if build1 != build0 {
+		t.Errorf("second job built %v fresh layouts, want full reuse", build1-build0)
+	}
+
+	// A different seed must not share the pooled study.
+	other := await(t, ts, submit(t, ts, fmt.Sprintf(
+		`{"compare":{"strategies":["base"],"sizes":["8k"]},"refs":%d,"seed":7}`, testRefs)).ID)
+	if other.State != StateDone {
+		t.Fatalf("seeded job ended %s: %s", other.State, other.Error)
+	}
+	if d := await(t, ts, submit(t, ts, spec).ID); d.Results["compare"].Digest != first.Results["compare"].Digest {
+		t.Error("original compare job no longer reproduces after a seeded job ran")
+	}
+}

@@ -2,43 +2,58 @@ package simulate
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"oslayout/internal/cache"
 	"oslayout/internal/layout"
 	"oslayout/internal/obs"
-	"oslayout/internal/program"
 	"oslayout/internal/trace"
 )
 
-// lineSpan is the precomputed [First, Last] line-address range one block's
-// execution touches under a given line size.
-type lineSpan struct {
-	First, Last uint64
-}
-
 // runner pairs one cache's hoisted access function with its result
 // accumulators. obs is non-nil only on the observed drive path; the
-// unobserved driveGroup never reads it.
+// unobserved drive loops never read it.
 type runner struct {
 	access func(uint64, trace.Domain) cache.MissClass
 	res    *Result
 	obs    obs.Observer
 }
 
+// Options tunes a RunManyOpt replay. The zero value reproduces RunMany
+// exactly: no observers, direct compilation, sequential drive.
+type Options struct {
+	// Observers, when non-nil, must match the configs in length;
+	// Observers[i] (which may be nil) watches config i's replay.
+	Observers []obs.Observer
+	// Streams supplies compiled line streams; nil compiles directly,
+	// sharing one trace decode across the call's line sizes. A memoizing
+	// source (internal/streamcache) additionally shares compilations across
+	// RunMany calls.
+	Streams StreamSource
+	// Workers bounds the drive worker pool. Values <= 1 select the
+	// sequential path: one pass per line-size group driving every cache of
+	// the group. Higher values fan independent cache units — each
+	// direct-mapped inclusion chain is one unit, every other cache its own
+	// unit — across min(Workers, units) goroutines over the shared
+	// read-only streams. Results are bit-identical either way: the units
+	// are independent (no cache reads another's state), and each cache sees
+	// the exact access sequence of the sequential interleaving.
+	Workers int
+}
+
 // RunMany is the single-pass multi-configuration engine: where repeated Run
 // calls replay the trace once per cache organisation — re-decoding every
-// event and re-resolving every block address each time — RunMany decodes
-// the trace and resolves each block's (addr, size) once, precomputes a
-// per-block line-span table per distinct line size, and drives all caches
-// sharing that line size from the same event stream (in the spirit of
-// Hill & Smith's all-associativity and the Cheetah-style single-pass
-// simulators cited by the paper's successors). It returns one Result per
-// config in order, each bit-identical to the one the equivalent Run call
-// produces. appL may be nil when the trace has no application.
+// event and re-resolving every block address each time — RunMany compiles
+// the trace once per distinct line size into a flat pre-elided line stream
+// (see Compile) and drives all caches sharing that line size from it (in
+// the spirit of Hill & Smith's all-associativity and the Cheetah-style
+// single-pass simulators cited by the paper's successors). It returns one
+// Result per config in order, each bit-identical to the one the equivalent
+// Run call produces. appL may be nil when the trace has no application.
 func RunMany(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config) ([]*Result, error) {
-	return RunManyObserved(t, osL, appL, cfgs, nil)
+	return RunManyOpt(t, osL, appL, cfgs, Options{})
 }
 
 // RunObserved is Run with an attached observer: the replay additionally
@@ -47,22 +62,28 @@ func RunMany(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config) ([]*
 // provenance breakdowns, windowed miss-rate series and conflicting line
 // pairs. The returned Result is bit-identical to Run's.
 func RunObserved(t *trace.Trace, osL, appL *layout.Layout, cfg cache.Config, o obs.Observer) (*Result, error) {
-	ress, err := RunManyObserved(t, osL, appL, []cache.Config{cfg}, []obs.Observer{o})
+	ress, err := RunManyOpt(t, osL, appL, []cache.Config{cfg}, Options{Observers: []obs.Observer{o}})
 	if err != nil {
 		return nil, err
 	}
 	return ress[0], nil
 }
 
-// RunManyObserved is RunMany with optional per-configuration observers:
-// observers[i] (which may be nil) watches cfgs[i]'s replay. Observation is
-// gated at group-setup time — a group whose configurations carry no
-// observer runs through exactly the unobserved drive loop, so the nil case
-// stays bit-identical and pays nothing per access. Observed groups keep the
-// repeat-elision and inclusion-chain fast paths: both elide only hits,
-// which change no state, so every miss-derived metric the observers see is
-// exact. observers must be nil or match cfgs in length.
+// RunManyObserved is RunMany with optional per-configuration observers.
 func RunManyObserved(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, observers []obs.Observer) ([]*Result, error) {
+	return RunManyOpt(t, osL, appL, cfgs, Options{Observers: observers})
+}
+
+// RunManyOpt is the full-control entry point of the engine: RunMany plus
+// per-config observers, a pluggable stream source and a bounded parallel
+// drive. Observation is gated at unit-setup time — a unit whose
+// configurations carry no observer runs through exactly the unobserved
+// drive loop, so the nil case stays bit-identical and pays nothing per
+// access. Observed units keep the repeat-elision and inclusion-chain fast
+// paths: both elide only hits, which change no state, so every miss-derived
+// metric the observers see is exact.
+func RunManyOpt(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, opt Options) ([]*Result, error) {
+	observers := opt.Observers
 	if observers != nil && len(observers) != len(cfgs) {
 		return nil, fmt.Errorf("simulate: %d observers for %d configs", len(observers), len(cfgs))
 	}
@@ -90,17 +111,8 @@ func RunManyObserved(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Conf
 		return results, nil
 	}
 
-	stream, refsTotal, refsTab := resolveEvents(t)
-	for i := range cfgs {
-		if o := obsAt(i); o != nil {
-			o.Begin(cfgs[i], len(stream))
-			caches[i].SetEvictionHook(o.Evict)
-		}
-	}
-
 	// Group configs by line size: caches sharing a line size see the exact
-	// same line-access sequence, so they share one span table and one pass
-	// over the resolved stream.
+	// same line-access sequence, so they share one compiled stream.
 	byLine := make(map[int][]int)
 	var lineSizes []int
 	for i, cfg := range cfgs {
@@ -109,14 +121,45 @@ func RunManyObserved(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Conf
 		}
 		byLine[cfg.Line] = append(byLine[cfg.Line], i)
 	}
-	for _, ls := range lineSizes {
-		spans := spanTables(t, osL, appL, ls)
-		// Within a group, direct-mapped power-of-two caches form an
-		// inclusion chain when ordered by ascending set count: a hit in a
-		// smaller member guarantees a hit in every larger one
-		// (set-refinement), and a direct-mapped hit is a no-op, so the
-		// larger members can be skipped outright. Other geometries go in
-		// rest and always run.
+	streams := make([]*Stream, len(lineSizes))
+	if opt.Streams != nil {
+		for k, ls := range lineSizes {
+			s, err := opt.Streams.Stream(t, osL, appL, ls)
+			if err != nil {
+				return nil, err
+			}
+			streams[k] = s
+		}
+	} else {
+		ev := Decode(t)
+		for k, ls := range lineSizes {
+			s, err := CompileEvents(ev, t, osL, appL, ls)
+			if err != nil {
+				return nil, err
+			}
+			streams[k] = s
+		}
+	}
+
+	refs := streams[0].Events().Refs()
+	numEvents := streams[0].Events().NumEvents()
+	for i := range cfgs {
+		if o := obsAt(i); o != nil {
+			o.Begin(cfgs[i], numEvents)
+			caches[i].SetEvictionHook(o.Evict)
+		}
+	}
+
+	// Partition each line-size group into drive units. Within a group,
+	// direct-mapped power-of-two caches form an inclusion chain when
+	// ordered by ascending set count: a hit in a smaller member guarantees
+	// a hit in every larger one (set-refinement), and a direct-mapped hit
+	// is a no-op, so the larger members can be skipped outright. The chain
+	// is therefore one sequential unit; every other geometry is
+	// independent and becomes its own unit.
+	var units []driveUnit
+	for k, ls := range lineSizes {
+		s := streams[k]
 		var chainIdx, restIdx []int
 		for _, i := range byLine[ls] {
 			if caches[i].DirectMappedPow2() {
@@ -135,25 +178,29 @@ func RunManyObserved(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Conf
 			}
 			return rs
 		}
-		// Gate observation per line-size group: only a group that actually
-		// carries an observer takes the observed drive loop.
-		var watchers []obs.Observer
-		for _, i := range byLine[ls] {
-			if o := obsAt(i); o != nil {
-				watchers = append(watchers, o)
-			}
+		if opt.Workers <= 1 {
+			// Sequential: the whole group is one unit, driven in a single
+			// pass over the stream exactly as before.
+			units = append(units, driveUnit{s, mkRunners(chainIdx), mkRunners(restIdx)})
+			continue
 		}
-		if watchers == nil {
-			driveGroup(stream, spans, mkRunners(chainIdx), mkRunners(restIdx))
-		} else {
-			driveGroupObserved(stream, spans, refsTab, mkRunners(chainIdx), mkRunners(restIdx), watchers)
+		// Parallel: the chain is one unit, each rest cache its own. A unit
+		// owns its caches and observers exclusively, so units touch
+		// disjoint state and may drive concurrently over the shared
+		// read-only stream.
+		if len(chainIdx) > 0 {
+			units = append(units, driveUnit{s, mkRunners(chainIdx), nil})
+		}
+		for _, i := range restIdx {
+			units = append(units, driveUnit{s, nil, mkRunners([]int{i})})
 		}
 	}
+	driveUnits(units, opt.Workers)
 
 	for i := range results {
 		// Per-domain references are a property of the trace alone, so they
-		// are summed once during resolution and stamped on every cache.
-		caches[i].Stats.Refs = refsTotal
+		// are summed once during decode and stamped on every cache.
+		caches[i].Stats.Refs = refs
 		results[i].Stats = caches[i].Stats
 	}
 	return results, nil
@@ -162,124 +209,124 @@ func RunManyObserved(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Conf
 // eventDomainShift packs a resolved block event as domain<<31 | block.
 const eventDomainShift = 31
 
-// resolveEvents decodes the trace once: markers are dropped, and each block
-// event is packed into a uint32. It also returns the total per-domain
-// instruction-word references of the stream and the per-block reference
-// tables (the observed drive loop feeds per-event references to observers).
-func resolveEvents(t *trace.Trace) ([]uint32, [trace.NumDomains]uint64, [trace.NumDomains][]uint64) {
-	var refsTab [trace.NumDomains][]uint64
-	refsTab[trace.DomainOS] = refsOf(t.OS)
-	if t.App != nil {
-		refsTab[trace.DomainApp] = refsOf(t.App)
-	}
-	out := make([]uint32, 0, len(t.Events))
-	var refs [trace.NumDomains]uint64
-	for _, e := range t.Events {
-		if !e.IsBlock() {
-			continue
-		}
-		d := e.Domain()
-		b := e.Block()
-		refs[d] += refsTab[d][b]
-		out = append(out, uint32(d)<<eventDomainShift|uint32(b))
-	}
-	return out, refs, refsTab
+// driveUnit is one independently drivable slice of a replay: a compiled
+// stream plus the runners that consume it. chain holds direct-mapped
+// power-of-two caches in ascending set order (inclusion semantics); rest
+// caches always run. No two units share a cache, result or observer.
+type driveUnit struct {
+	s     *Stream
+	chain []runner
+	rest  []runner
 }
 
-// refsOf precomputes per-block instruction-word reference counts.
-func refsOf(p *program.Program) []uint64 {
-	tab := make([]uint64, p.NumBlocks())
-	for b := range tab {
-		tab[b] = trace.RefsOf(p.Block(program.BlockID(b)).Size)
-	}
-	return tab
-}
-
-// spanTables precomputes, for one line size, the line-address range each
-// block's execution covers under the given layouts.
-func spanTables(t *trace.Trace, osL, appL *layout.Layout, lineSize int) [trace.NumDomains][]lineSpan {
-	shift := uint(bits.TrailingZeros(uint(lineSize)))
-	var tabs [trace.NumDomains][]lineSpan
-	tabs[trace.DomainOS] = spansOf(osL, shift)
-	if t.App != nil {
-		tabs[trace.DomainApp] = spansOf(appL, shift)
-	}
-	return tabs
-}
-
-func spansOf(l *layout.Layout, shift uint) []lineSpan {
-	spans := make([]lineSpan, len(l.Addr))
-	for b, addr := range l.Addr {
-		size := l.Prog.Block(program.BlockID(b)).Size
-		spans[b] = lineSpan{addr >> shift, (addr + uint64(size) - 1) >> shift}
-	}
-	return spans
-}
-
-// driveGroup replays the resolved stream through all caches of one
-// line-size group. Two access-elision rules keep the replay cheap while
-// staying bit-identical to individual runs:
-//
-//  1. Consecutive accesses to the same line are skipped for the whole
-//     group: after any access the line sits at the MRU position of its set
-//     in every cache, so an immediate re-access is a guaranteed hit with
-//     no state or statistics change (references are accounted separately).
-//  2. chain holds the direct-mapped power-of-two caches in ascending set
-//     order; a hit in one member implies a hit in every later (bigger)
-//     member by set-refinement inclusion, and a direct-mapped hit touches
-//     nothing, so the rest of the chain is skipped.
-func driveGroup(stream []uint32, spans [trace.NumDomains][]lineSpan, chain, rest []runner) {
-	prev := ^uint64(0)
-	for _, ev := range stream {
-		d := trace.Domain(ev >> eventDomainShift)
-		b := ev & (1<<eventDomainShift - 1)
-		sp := spans[d][b]
-		for line := sp.First; line <= sp.Last; line++ {
-			if line == prev {
-				continue
+// watchers collects the unit's non-nil observers, in config order.
+func (u *driveUnit) watchers() []obs.Observer {
+	var ws []obs.Observer
+	for _, rs := range [][]runner{u.chain, u.rest} {
+		for k := range rs {
+			if rs[k].obs != nil {
+				ws = append(ws, rs[k].obs)
 			}
-			prev = line
-			for k := range chain {
-				r := &chain[k]
-				cl := r.access(line, d)
-				if cl == cache.Hit {
-					break
+		}
+	}
+	return ws
+}
+
+// drive replays the unit's stream through its caches, picking the observed
+// walk only when the unit actually carries an observer.
+func (u *driveUnit) drive() {
+	if ws := u.watchers(); ws != nil {
+		driveStreamObserved(u.s, u.chain, u.rest, ws)
+	} else {
+		driveStream(u.s, u.chain, u.rest)
+	}
+}
+
+// driveUnits runs the units, fanning them across min(workers, len(units))
+// goroutines claiming units off a shared counter. Unit order is irrelevant
+// to the results — units are mutually independent — so the fan-out is
+// deterministic by construction, not by scheduling.
+func driveUnits(units []driveUnit, workers int) {
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for k := range units {
+			units[k].drive()
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(units) {
+					return
 				}
+				units[k].drive()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// driveStream replays a compiled stream through the unit's caches. Span
+// expansion and same-line elision already happened at compile time, so the
+// loop touches only the flat pre-elided access arrays; the inclusion-chain
+// skip (a direct-mapped power-of-two hit implies a hit in every larger
+// chain member, with no state change either way) remains a drive-time rule
+// because it depends on per-cache hit state.
+func driveStream(s *Stream, chain, rest []runner) {
+	for _, v := range s.accs {
+		line := v & streamLineMask
+		a := uint32(v >> streamAttrShift)
+		d := trace.Domain(a >> eventDomainShift)
+		b := a & (1<<eventDomainShift - 1)
+		for k := range chain {
+			r := &chain[k]
+			cl := r.access(line, d)
+			if cl == cache.Hit {
+				break
+			}
+			recordMiss(r.res, cl, d, b)
+		}
+		for k := range rest {
+			r := &rest[k]
+			if cl := r.access(line, d); cl != cache.Hit {
 				recordMiss(r.res, cl, d, b)
 			}
-			for k := range rest {
-				r := &rest[k]
-				if cl := r.access(line, d); cl != cache.Hit {
-					recordMiss(r.res, cl, d, b)
-				}
-			}
 		}
 	}
 }
 
-// driveGroupObserved is driveGroup plus observer notification: each trace
-// event is announced to every watcher of the group, and each recorded miss
+// driveStreamObserved is driveStream plus observer notification: the walk
+// follows the stream's per-event offsets so every trace event — including
+// ones whose accesses were all elided at compile time — is announced to
+// every watcher of the unit in exact replay order, and each recorded miss
 // is forwarded to its runner's observer (evictions reach observers through
 // the cache-side hook installed at setup). The cache-visible access
-// sequence — including both elision rules — is exactly driveGroup's, so
-// results stay bit-identical to the unobserved path.
-func driveGroupObserved(stream []uint32, spans [trace.NumDomains][]lineSpan,
-	refsTab [trace.NumDomains][]uint64, chain, rest []runner, watchers []obs.Observer) {
-
-	prev := ^uint64(0)
-	for _, ev := range stream {
-		d := trace.Domain(ev >> eventDomainShift)
-		b := ev & (1<<eventDomainShift - 1)
+// sequence is exactly driveStream's, so results stay bit-identical to the
+// unobserved path; and because every observer belongs to exactly one unit,
+// the per-observer event/miss sequence is identical whether units run
+// sequentially or in parallel.
+func driveStreamObserved(s *Stream, chain, rest []runner, watchers []obs.Observer) {
+	accs := s.accs
+	refsTab := s.ev.refsTab
+	start := uint32(0)
+	for i, a := range s.ev.attrs {
+		d := trace.Domain(a >> eventDomainShift)
+		b := a & (1<<eventDomainShift - 1)
 		refs := refsTab[d][b]
 		for _, w := range watchers {
 			w.Event(d, b, refs)
 		}
-		sp := spans[d][b]
-		for line := sp.First; line <= sp.Last; line++ {
-			if line == prev {
-				continue
-			}
-			prev = line
+		end := s.eventEnd[i]
+		for j := start; j < end; j++ {
+			line := accs[j] & streamLineMask
 			for k := range chain {
 				r := &chain[k]
 				cl := r.access(line, d)
@@ -301,6 +348,7 @@ func driveGroupObserved(stream []uint32, spans [trace.NumDomains][]lineSpan,
 				}
 			}
 		}
+		start = end
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"oslayout/internal/appgen"
 	"oslayout/internal/cache"
@@ -37,6 +38,7 @@ import (
 	"oslayout/internal/program"
 	"oslayout/internal/simulate"
 	"oslayout/internal/strategy"
+	"oslayout/internal/streamcache"
 	"oslayout/internal/trace"
 	"oslayout/internal/workload"
 )
@@ -127,6 +129,17 @@ type StudyOptions struct {
 	// Recorder, when non-nil, receives phase timings for kernel synthesis,
 	// per-workload trace generation and profile averaging.
 	Recorder *Recorder
+	// DrivePar bounds the replay drive worker pool used by the EvaluateMany
+	// family: values above 1 fan independent cache units across that many
+	// goroutines (results stay bit-identical to sequential); 0 or 1 keeps
+	// the sequential drive. Single-config Evaluate is always sequential.
+	DrivePar int
+	// StreamCacheBytes bounds the estimated memory of the study's
+	// compiled-stream cache; non-positive selects the package default
+	// (streamcache.DefaultMaxBytes). Size it to the largest sweep's
+	// working set: an LRU smaller than a repeating replay pattern evicts
+	// every stream just before its reuse.
+	StreamCacheBytes int64
 }
 
 // WorkloadData holds everything captured for one workload.
@@ -155,6 +168,18 @@ type Study struct {
 	// serialises them under one lock (building applies profiles in place,
 	// mutating kernel weights — see internal/strategy.Cache).
 	layouts *strategy.Cache
+	// streams memoizes compiled line streams across Evaluate* calls; its
+	// identity-based keys work because every layout this study replays is
+	// itself memoized (strategy cache, appBase below), so equal layouts are
+	// equal pointers.
+	streams *streamcache.Cache
+	// drivePar bounds the per-replay drive worker pool (StudyOptions.DrivePar).
+	drivePar int
+	// appBase memoizes per-workload application base layouts: a stable
+	// pointer per workload keeps stream-cache keys stable (and spares
+	// rebuilding the layout on every evaluation).
+	appBase     []*Layout
+	appBaseOnce []sync.Once
 }
 
 // NewStudy builds the kernel, traces every workload, profiles the traces and
@@ -200,6 +225,10 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 	st.AvgOS = avg
 	st.layouts = strategy.NewCache(st)
 	st.layouts.SetRecorder(rec)
+	st.streams = streamcache.New(opts.StreamCacheBytes)
+	st.drivePar = opts.DrivePar
+	st.appBase = make([]*Layout, len(st.Data))
+	st.appBaseOnce = make([]sync.Once, len(st.Data))
 	return st, nil
 }
 
@@ -351,13 +380,18 @@ func (s *Study) OptCall(cacheSize int) (*Plan, error) {
 }
 
 // AppBaseLayout returns the original layout of workload i's application,
-// or nil when it has none.
+// or nil when it has none. The layout is built once per workload and the
+// same pointer returned thereafter, so downstream identity-keyed caches
+// (the compiled-stream memo) see one key per workload.
 func (s *Study) AppBaseLayout(i int) *Layout {
 	d := s.Data[i]
 	if d.App == nil {
 		return nil
 	}
-	return layout.NewBase(d.App.Prog, simulate.AppBase)
+	s.appBaseOnce[i].Do(func() {
+		s.appBase[i] = layout.NewBase(d.App.Prog, simulate.AppBase)
+	})
+	return s.appBase[i]
 }
 
 // AppOptLayout builds the paper's application layout for workload i: the
@@ -416,16 +450,15 @@ func (s *Study) Evaluate(i int, osL, appL *Layout, cfg CacheConfig) (*Result, er
 }
 
 // EvaluateMany replays workload i's trace through many cache organisations
-// in a single pass (simulate.RunMany): the trace is decoded and every block
-// address resolved once, and all caches sharing a line size are driven from
-// the same event stream. Results are bit-identical to per-config Evaluate
-// calls; sweep experiments use this to avoid redundant trace replays.
+// in a single pass over compiled line streams (simulate.RunManyOpt): the
+// trace is decoded once per study, the (layout, line size) expansion is
+// memoized across calls in the study's stream cache, and all caches
+// sharing a line size are driven from the same stream — fanned across a
+// worker pool when StudyOptions.DrivePar allows. Results are bit-identical
+// to per-config Evaluate calls; sweep and compare experiments use this to
+// avoid redundant trace replays and recompilations.
 func (s *Study) EvaluateMany(i int, osL, appL *Layout, cfgs []CacheConfig) ([]*Result, error) {
-	d := s.Data[i]
-	if appL == nil && d.App != nil {
-		appL = s.AppBaseLayout(i)
-	}
-	return simulate.RunMany(d.Trace, osL, appL, cfgs)
+	return s.EvaluateManyObserved(i, osL, appL, cfgs, nil)
 }
 
 // EvaluateObserved is Evaluate with an attached observer: the replay
@@ -433,11 +466,11 @@ func (s *Study) EvaluateMany(i int, osL, appL *Layout, cfgs []CacheConfig) ([]*R
 // collectors like SimStats can attribute where the misses went. The Result
 // is bit-identical to Evaluate's.
 func (s *Study) EvaluateObserved(i int, osL, appL *Layout, cfg CacheConfig, o Observer) (*Result, error) {
-	d := s.Data[i]
-	if appL == nil && d.App != nil {
-		appL = s.AppBaseLayout(i)
+	ress, err := s.EvaluateManyObserved(i, osL, appL, []CacheConfig{cfg}, []Observer{o})
+	if err != nil {
+		return nil, err
 	}
-	return simulate.RunObserved(d.Trace, osL, appL, cfg, o)
+	return ress[0], nil
 }
 
 // EvaluateManyObserved is EvaluateMany with optional per-configuration
@@ -447,7 +480,34 @@ func (s *Study) EvaluateManyObserved(i int, osL, appL *Layout, cfgs []CacheConfi
 	if appL == nil && d.App != nil {
 		appL = s.AppBaseLayout(i)
 	}
-	return simulate.RunManyObserved(d.Trace, osL, appL, cfgs, observers)
+	return simulate.RunManyOpt(d.Trace, osL, appL, cfgs, simulate.Options{
+		Observers: observers,
+		Streams:   s.streams,
+		Workers:   s.drivePar,
+	})
+}
+
+// StreamCacheStats returns how many compiled-stream requests this study's
+// evaluations served from the memo versus compiled fresh (the serve daemon
+// exports these as the oslayout_streamcache_{hits,misses}_total counters).
+func (s *Study) StreamCacheStats() (hits, misses uint64) { return s.streams.Stats() }
+
+// StreamCacheUsage returns the stream cache's resident byte estimate and
+// how many entries its byte budget has evicted — the signals to watch when
+// a sweep's working set outgrows StudyOptions.StreamCacheBytes.
+func (s *Study) StreamCacheUsage() (bytes int64, evictions uint64) {
+	return s.streams.Bytes(), s.streams.Evictions()
+}
+
+// WithDrivePar returns a view of the study whose evaluations use the given
+// drive-pool bound (see StudyOptions.DrivePar) while sharing everything
+// else — traces, profiles, the strategy-build cache and the compiled-stream
+// cache. The serve daemon uses this to pool one study across jobs that each
+// request their own parallelism. Results are bit-identical at any setting.
+func (s *Study) WithDrivePar(n int) *Study {
+	view := *s
+	view.drivePar = n
+	return &view
 }
 
 // EvaluateSplit replays workload i's trace through the paper's "Sep" setup:
