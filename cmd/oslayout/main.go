@@ -66,8 +66,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("oslayout", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		refs       = fs.Uint64("refs", 3_000_000, "OS instruction-word references to trace per workload")
+		refs       = fs.String("refs", "3000000", "OS instruction-word references to trace per workload (k/m/g suffixes accepted)")
 		seed       = fs.Int64("seed", 0, "kernel generation seed override (0 = default 1995)")
+		stream     = fs.Bool("stream", false, "force the constant-memory streaming pipeline; by default it switches on automatically when the projected trace footprint exceeds 1 GiB")
+		chunk      = fs.Int("chunk", 0, "streaming window size in trace events (0 = default, ~1M); results are identical at any setting")
 		timings    = fs.Bool("time", false, "print per-experiment wall-clock time")
 		dumpTraces = fs.String("dumptraces", "", "directory to write the captured workload traces to (binary format)")
 		jsonDir    = fs.String("json", "", "directory to additionally write each experiment's result as <name>.json")
@@ -132,12 +134,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		expNames = append(expNames, n)
 	}
 
+	refCount, err := serve.ParseRefs(*refs)
+	if err != nil {
+		return err
+	}
 	var rec *oslayout.Recorder
 	if *reportDir != "" || *tracePath != "" {
 		rec = oslayout.NewRecorder()
 	}
 	start := time.Now()
-	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed, Recorder: rec, Par: *par})
+	env, err := expt.NewEnv(expt.Options{
+		OSRefs:      refCount,
+		KernelSeed:  *seed,
+		Recorder:    rec,
+		Par:         *par,
+		Stream:      streamMode(*stream),
+		ChunkEvents: *chunk,
+	})
 	if err != nil {
 		return fmt.Errorf("building study: %w", err)
 	}
@@ -199,8 +212,10 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		sizes      = fs.String("sizes", "4k,8k,16k", "comma-separated cache sizes (bytes, or with k/K suffix)")
 		line       = fs.Int("line", 32, "cache line size in bytes")
 		assoc      = fs.Int("assoc", 1, "cache associativity")
-		refs       = fs.Uint64("refs", 3_000_000, "OS instruction-word references to trace per workload")
+		refs       = fs.String("refs", "3000000", "OS instruction-word references to trace per workload (k/m/g suffixes accepted)")
 		seed       = fs.Int64("seed", 0, "kernel generation seed override (0 = default 1995)")
+		stream     = fs.Bool("stream", false, "force the constant-memory streaming pipeline; by default it switches on automatically when the projected trace footprint exceeds 1 GiB")
+		chunk      = fs.Int("chunk", 0, "streaming window size in trace events (0 = default, ~1M); results are identical at any setting")
 		timings    = fs.Bool("time", false, "print study build and grid wall-clock time")
 		jsonDir    = fs.String("json", "", "directory to additionally write the result as compare.json")
 		detail     = fs.Bool("detail", false, "print per-strategy conflict attribution next to the miss rates")
@@ -240,12 +255,23 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	refCount, err := serve.ParseRefs(*refs)
+	if err != nil {
+		return err
+	}
 	var rec *oslayout.Recorder
 	if *reportDir != "" {
 		rec = oslayout.NewRecorder()
 	}
 	start := time.Now()
-	env, err := expt.NewEnv(expt.Options{OSRefs: *refs, KernelSeed: *seed, Recorder: rec, Par: *par})
+	env, err := expt.NewEnv(expt.Options{
+		OSRefs:      refCount,
+		KernelSeed:  *seed,
+		Recorder:    rec,
+		Par:         *par,
+		Stream:      streamMode(*stream),
+		ChunkEvents: *chunk,
+	})
 	if err != nil {
 		return fmt.Errorf("building study: %w", err)
 	}
@@ -285,7 +311,7 @@ func writeManifest(dir, command string, fs *flag.FlagSet, env *expt.Env, rec *os
 	if seed == 0 {
 		seed = oslayout.DefaultKernelConfig().Seed
 	}
-	refs, _ := strconv.ParseUint(flags["refs"], 10, 64)
+	refs, _ := serve.ParseRefs(flags["refs"])
 	conflicts, err := conflictReports(env, rec)
 	if err != nil {
 		return err
@@ -332,6 +358,16 @@ func conflictReports(env *expt.Env, rec *oslayout.Recorder) ([]obs.ConflictRepor
 		reps = append(reps, obs.NewConflictReport(d.Workload.Name, base.Name, s, res.Stats.MissRate(), resolve, 8))
 	}
 	return reps, nil
+}
+
+// streamMode maps the -stream flag to a study stream mode: the bare flag
+// forces the constant-memory pipeline, its absence lets the study pick by
+// projected footprint.
+func streamMode(force bool) oslayout.StreamMode {
+	if force {
+		return oslayout.StreamOn
+	}
+	return oslayout.StreamAuto
 }
 
 // splitList splits a comma-separated list, dropping empty elements.

@@ -187,6 +187,32 @@ func TestRunDumpTraces(t *testing.T) {
 	}
 }
 
+// TestRunStreamFlagsBitIdentical drives the streaming flags end to end:
+// `-refs 120k` must parse as 122880, and forcing `-stream` with a small
+// `-chunk` must render the experiment byte-identically to the default
+// materialised run.
+func TestRunStreamFlagsBitIdentical(t *testing.T) {
+	var mat, str, errb bytes.Buffer
+	if err := run([]string{"-refs", "122880", "table1"}, &mat, &errb); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	if err := run([]string{"-refs", "120k", "-stream", "-chunk", "8192", "table1"}, &str, &errb); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	if mat.String() != str.String() {
+		t.Error("streamed CLI run differs from materialised run")
+	}
+}
+
+func TestRunBadRefs(t *testing.T) {
+	for _, bad := range []string{"", "0", "-5", "3q", "99999999999999999999g"} {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-refs", bad, "table1"}, &out, &errb); err == nil {
+			t.Errorf("-refs %q accepted, want error", bad)
+		}
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if err := run([]string{"-nonsense"}, &out, &errb); err == nil {

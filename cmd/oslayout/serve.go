@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -24,6 +25,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		workers = fs.Int("workers", 2, "concurrent jobs (each job parallelises replays across cores)")
 		maxJobs = fs.Int("maxjobs", 64, "retained job table size; oldest finished jobs are evicted past it")
 		par     = fs.Int("par", runtime.GOMAXPROCS(0), "default per-job parallelism bound (fan-out + replay drive pool); job specs override with \"par\"")
+		budget  = fs.String("streambudget", "1g", "retained-trace memory budget (k/m/g suffixes): jobs projecting a larger materialised footprint stream instead, and stream=off jobs past it are rejected")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, `usage: oslayout serve [flags]
@@ -50,7 +52,14 @@ flags:
 		return fmt.Errorf("serve takes no positional arguments (got %v)", fs.Args())
 	}
 
-	s := serve.New(serve.Config{Workers: *workers, MaxJobs: *maxJobs, DrivePar: *par})
+	budgetBytes, err := serve.ParseRefs(*budget)
+	if err != nil {
+		return fmt.Errorf("bad -streambudget: %w", err)
+	}
+	if budgetBytes > math.MaxInt64 {
+		return fmt.Errorf("bad -streambudget: %q overflows", *budget)
+	}
+	s := serve.New(serve.Config{Workers: *workers, MaxJobs: *maxJobs, DrivePar: *par, StreamBudgetBytes: int64(budgetBytes)})
 	defer s.Close()
 
 	// Listen before announcing, so ":0" prints the resolved port and a

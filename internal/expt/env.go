@@ -48,6 +48,16 @@ type Options struct {
 	// -par flag). 0 selects GOMAXPROCS; 1 forces fully sequential runs.
 	// Results are bit-identical at every setting.
 	Par int
+	// Stream selects the study's trace pipeline: StreamAuto (default)
+	// materialises under the budget and streams above it, StreamOn forces
+	// the chunked constant-memory pipeline (the CLI's -stream flag).
+	Stream oslayout.StreamMode
+	// ChunkEvents is the streaming window size in trace events (the CLI's
+	// -chunk flag); 0 selects the package default.
+	ChunkEvents int
+	// StreamBudgetBytes overrides the StreamAuto threshold; 0 selects
+	// oslayout.DefaultStreamBudgetBytes.
+	StreamBudgetBytes int64
 	// Study, when non-nil, is a prebuilt study to evaluate against instead
 	// of building one: the environment then shares its traces, its
 	// layout-strategy cache and its compiled-stream cache with every other
@@ -130,10 +140,12 @@ func BuildStudy(opt Options) (*oslayout.Study, error) {
 		kcfg.Seed = opt.KernelSeed
 	}
 	return oslayout.NewStudy(oslayout.StudyOptions{
-		Kernel:   kcfg,
-		Trace:    oslayout.TraceOptions{OSRefs: opt.OSRefs},
-		Recorder: opt.Recorder,
-		DrivePar: opt.Par,
+		Kernel:            kcfg,
+		Trace:             oslayout.TraceOptions{OSRefs: opt.OSRefs, ChunkEvents: opt.ChunkEvents},
+		Recorder:          opt.Recorder,
+		DrivePar:          opt.Par,
+		Stream:            opt.Stream,
+		StreamBudgetBytes: opt.StreamBudgetBytes,
 	})
 }
 
@@ -302,7 +314,7 @@ func (e *Env) recordReplay(i int, start time.Time) {
 	if e.rec == nil {
 		return
 	}
-	e.rec.AddReplay(uint64(len(e.St.Data[i].Trace.Events)), time.Since(start))
+	e.rec.AddReplay(uint64(e.St.Data[i].Trace.NumEvents()), time.Since(start))
 	e.rec.Add("replay.refs", e.workloadRefs(i))
 }
 

@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"testing"
+
+	"oslayout"
+	"oslayout/internal/obs"
+)
+
+// TestStreamingStudyDigests builds the study twice — once forcing the
+// constant-memory streaming pipeline at a small chunk size, once forcing
+// materialisation — and requires digest-identical renderings across a set
+// of experiments covering every trace-consuming path: profiles (table1),
+// sequence characterisation over the raw event stream (table2), temporal
+// reuse (fig7), the multi-config replay engine (fig12), size sweeps
+// (fig15) and the split/reserved cache setups (fig18). The CI smoke
+// extends this to the full table1-fig18 suite.
+func TestStreamingStudyDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two studies")
+	}
+	const refs = 150_000
+	build := func(mode oslayout.StreamMode, chunk int) *Env {
+		t.Helper()
+		e, err := NewEnv(Options{OSRefs: refs, Stream: mode, ChunkEvents: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	mat := build(oslayout.StreamOff, 0)
+	str := build(oslayout.StreamOn, 8<<10)
+	if !str.St.Streaming() {
+		t.Fatal("StreamOn study is not streaming")
+	}
+	if mat.St.Streaming() {
+		t.Fatal("StreamOff study is streaming")
+	}
+	for _, d := range str.St.Data {
+		if !d.Trace.Streaming() {
+			t.Fatalf("%s: trace materialised under StreamOn", d.Workload.Name)
+		}
+	}
+	for _, name := range []string{"table1", "table2", "fig7", "fig12", "fig15", "fig18"} {
+		rm, err := Run(mat, name)
+		if err != nil {
+			t.Fatalf("%s materialised: %v", name, err)
+		}
+		rs, err := Run(str, name)
+		if err != nil {
+			t.Fatalf("%s streamed: %v", name, err)
+		}
+		if dm, ds := obs.Digest(rm.Render()), obs.Digest(rs.Render()); dm != ds {
+			t.Errorf("%s: streamed digest %s != materialised %s", name, ds, dm)
+		}
+	}
+}

@@ -195,30 +195,39 @@ func TemporalReuse(t *trace.Trace, routines []program.RoutineID) ReuseStats {
 	for i := range lastPos {
 		lastPos[i] = -1
 	}
-	for _, e := range t.Events {
-		switch {
-		case e.IsBegin():
-			inInv = true
-		case e.IsEnd():
-			resetInv()
-			inInv = false
-		case e.IsBlock() && e.Domain() == trace.DomainOS && inInv:
-			b := e.Block()
-			if ri, ok := tracked[b]; ok {
-				if lastPos[ri] >= 0 {
-					d := uint64(words - lastPos[ri])
-					bi := len(ReuseBucketBounds)
-					for j, bound := range ReuseBucketBounds {
-						if d < bound {
-							bi = j
-							break
+	// Walk in windows so header-only traces analyse in O(chunk) memory; all
+	// accumulation state carries across window boundaries.
+	r := t.Chunks()
+	for {
+		batch, err := r.Read()
+		if err != nil || len(batch) == 0 {
+			break
+		}
+		for _, e := range batch {
+			switch {
+			case e.IsBegin():
+				inInv = true
+			case e.IsEnd():
+				resetInv()
+				inInv = false
+			case e.IsBlock() && e.Domain() == trace.DomainOS && inInv:
+				b := e.Block()
+				if ri, ok := tracked[b]; ok {
+					if lastPos[ri] >= 0 {
+						d := uint64(words - lastPos[ri])
+						bi := len(ReuseBucketBounds)
+						for j, bound := range ReuseBucketBounds {
+							if d < bound {
+								bi = j
+								break
+							}
 						}
+						st.Buckets[bi]++
 					}
-					st.Buckets[bi]++
+					lastPos[ri] = words
 				}
-				lastPos[ri] = words
+				words += int64(trace.RefsOf(t.OS.Block(b).Size))
 			}
-			words += int64(trace.RefsOf(t.OS.Block(b).Size))
 		}
 	}
 	resetInv()

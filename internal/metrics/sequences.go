@@ -72,27 +72,35 @@ type SeqCharacterization struct {
 func Characterize(t *trace.Trace, set *SeqSet, baseRes *simulate.Result) SeqCharacterization {
 	var c SeqCharacterization
 
-	// Transition probabilities over consecutive OS block events.
+	// Transition probabilities over consecutive OS block events, walked in
+	// windows (the previous-block state carries across boundaries).
 	var fromMember, toMember, toNext float64
 	prev := program.NoBlock
-	for _, e := range t.Events {
-		if !e.IsBlock() || e.Domain() != trace.DomainOS {
-			prev = program.NoBlock
-			continue
+	r := t.Chunks()
+	for {
+		batch, err := r.Read()
+		if err != nil || len(batch) == 0 {
+			break
 		}
-		b := e.Block()
-		if prev != program.NoBlock {
-			if pp, ok := set.member[prev]; ok {
-				fromMember++
-				if np, ok := set.member[b]; ok {
-					toMember++
-					if np.seq == pp.seq && np.idx == pp.idx+1 {
-						toNext++
+		for _, e := range batch {
+			if !e.IsBlock() || e.Domain() != trace.DomainOS {
+				prev = program.NoBlock
+				continue
+			}
+			b := e.Block()
+			if prev != program.NoBlock {
+				if pp, ok := set.member[prev]; ok {
+					fromMember++
+					if np, ok := set.member[b]; ok {
+						toMember++
+						if np.seq == pp.seq && np.idx == pp.idx+1 {
+							toNext++
+						}
 					}
 				}
 			}
+			prev = b
 		}
-		prev = b
 	}
 	if fromMember > 0 {
 		c.ProbAnyInSeq = toMember / fromMember

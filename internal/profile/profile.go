@@ -111,32 +111,67 @@ func (c *Collector) Class(class program.SeedClass) {
 	c.prof.ClassInv[class]++
 }
 
-// FromTrace profiles a trace, returning one profile per domain present.
-// The application profile is nil when the trace has no application.
-func FromTrace(t *trace.Trace) (osProf, appProf *Profile) {
-	osProf = New(t.OS)
-	osc := NewCollector(t.OS, osProf)
-	var appc *Collector
-	if t.App != nil {
-		appProf = New(t.App)
-		appc = NewCollector(t.App, appProf)
+// TraceProfiler accumulates per-domain profiles from an event stream fed in
+// chunks — the constant-memory form of FromTrace, used by the streaming
+// study build where the trace is never materialised.
+type TraceProfiler struct {
+	osProf, appProf *Profile
+	osc, appc       *Collector
+}
+
+// NewTraceProfiler returns a profiler for an OS program and an optional
+// application program (appP may be nil).
+func NewTraceProfiler(osP, appP *program.Program) *TraceProfiler {
+	tp := &TraceProfiler{osProf: New(osP)}
+	tp.osc = NewCollector(osP, tp.osProf)
+	if appP != nil {
+		tp.appProf = New(appP)
+		tp.appc = NewCollector(appP, tp.appProf)
 	}
-	for _, e := range t.Events {
+	return tp
+}
+
+// Feed accumulates one window of trace events. Windows must arrive in trace
+// order; collector state (the previous block for arc inference) carries
+// across calls, so chunk boundaries never change the resulting profile.
+func (tp *TraceProfiler) Feed(events []trace.Event) {
+	for _, e := range events {
 		switch {
 		case e.IsBegin():
-			osc.Class(e.Class())
-			osc.Break()
+			tp.osc.Class(e.Class())
+			tp.osc.Break()
 		case e.IsEnd():
-			osc.Break()
+			tp.osc.Break()
 		case e.Domain() == trace.DomainOS:
-			osc.Block(e.Block())
+			tp.osc.Block(e.Block())
 		default:
-			if appc != nil {
-				appc.Block(e.Block())
+			if tp.appc != nil {
+				tp.appc.Block(e.Block())
 			}
 		}
 	}
-	return osProf, appProf
+}
+
+// Profiles returns the accumulated profiles; the application profile is nil
+// when the profiler was built without an application program.
+func (tp *TraceProfiler) Profiles() (osProf, appProf *Profile) {
+	return tp.osProf, tp.appProf
+}
+
+// FromTrace profiles a trace, returning one profile per domain present.
+// The application profile is nil when the trace has no application.
+// Header-only traces are profiled chunk-by-chunk from their Source.
+func FromTrace(t *trace.Trace) (osProf, appProf *Profile) {
+	tp := NewTraceProfiler(t.OS, t.App)
+	r := t.Chunks()
+	for {
+		batch, err := r.Read()
+		if err != nil || len(batch) == 0 {
+			break
+		}
+		tp.Feed(batch)
+	}
+	return tp.Profiles()
 }
 
 // Total returns the sum of all block execution counts.

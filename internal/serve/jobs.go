@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"oslayout"
 	"oslayout/internal/expt"
 	"oslayout/internal/obs"
 	"oslayout/internal/strategy"
@@ -27,6 +28,29 @@ type JobSpec struct {
 	// orthogonal to the server's -workers flag, which bounds how many jobs
 	// run concurrently.
 	Par int `json:"par,omitempty"`
+	// Stream selects the job's trace pipeline: "auto" (default) streams
+	// when the projected materialised footprint exceeds the daemon's
+	// budget, "on" forces the constant-memory streaming pipeline, "off"
+	// forces materialisation. An "off" job whose projected footprint
+	// exceeds the budget is rejected at submission rather than risking an
+	// out-of-memory daemon.
+	Stream string `json:"stream,omitempty"`
+	// Chunk is the streaming window size in trace events (the CLI's
+	// -chunk); 0 selects the default (~1M events).
+	Chunk int `json:"chunk,omitempty"`
+}
+
+// streamMode resolves the spec's stream field (validated earlier).
+func (s *JobSpec) streamMode() (oslayout.StreamMode, error) {
+	switch s.Stream {
+	case "", "auto":
+		return oslayout.StreamAuto, nil
+	case "on":
+		return oslayout.StreamOn, nil
+	case "off":
+		return oslayout.StreamOff, nil
+	}
+	return 0, fmt.Errorf("bad stream mode %q (want auto, on or off)", s.Stream)
 }
 
 // CompareSpec mirrors the CLI compare subcommand's flags.
@@ -42,8 +66,10 @@ type CompareSpec struct {
 }
 
 // validate resolves defaults and rejects malformed specs before the job is
-// accepted, so clients get a 400 rather than a failed job.
-func (s *JobSpec) validate() error {
+// accepted, so clients get a 400 rather than a failed job. budget is the
+// daemon's retained-trace memory bound: a spec that forces materialisation
+// past it is refused here, while "auto" and "on" specs stream instead.
+func (s *JobSpec) validate(budget int64) error {
 	if len(s.Experiments) > 0 && s.Compare != nil {
 		return fmt.Errorf("spec mixes experiments and compare; submit one or the other")
 	}
@@ -82,6 +108,21 @@ func (s *JobSpec) validate() error {
 	}
 	if s.Par < 0 {
 		return fmt.Errorf("par must be non-negative, got %d", s.Par)
+	}
+	if s.Chunk < 0 {
+		return fmt.Errorf("chunk must be non-negative, got %d", s.Chunk)
+	}
+	mode, err := s.streamMode()
+	if err != nil {
+		return err
+	}
+	if mode == oslayout.StreamOff {
+		projected := oslayout.ProjectedTraceBytes(oslayout.PaperWorkloads(),
+			oslayout.TraceOptions{OSRefs: s.Refs})
+		if projected > budget {
+			return fmt.Errorf("refs %d projects a %d MiB materialised trace footprint, over the daemon's %d MiB budget; drop stream=off to let the job stream",
+				s.Refs, projected>>20, budget>>20)
+		}
 	}
 	return nil
 }
@@ -165,6 +206,7 @@ func (j *Job) finish(results map[string]JobResult, err error) {
 type Manager struct {
 	workers int
 	maxJobs int
+	budget  int64
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -180,16 +222,20 @@ type Manager struct {
 // newManager starts a pool of workers executing run on submitted jobs.
 // maxJobs bounds the retained job table; the oldest finished jobs are
 // evicted past it.
-func newManager(workers, maxJobs int, run func(*Job)) *Manager {
+func newManager(workers, maxJobs int, budget int64, run func(*Job)) *Manager {
 	if workers <= 0 {
 		workers = 2
 	}
 	if maxJobs <= 0 {
 		maxJobs = 64
 	}
+	if budget <= 0 {
+		budget = oslayout.DefaultStreamBudgetBytes
+	}
 	m := &Manager{
 		workers: workers,
 		maxJobs: maxJobs,
+		budget:  budget,
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, maxJobs),
 		run:     run,
@@ -209,7 +255,7 @@ func newManager(workers, maxJobs int, run func(*Job)) *Manager {
 
 // Submit validates the spec, assigns an ID and enqueues the job.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
-	if err := spec.validate(); err != nil {
+	if err := spec.validate(m.budget); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()

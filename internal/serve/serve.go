@@ -53,6 +53,12 @@ type Config struct {
 	// repeated or concurrent compare grid replays from memoized streams
 	// instead of regenerating and recompiling everything.
 	StudyCache int
+	// StreamBudgetBytes is the daemon's retained-trace memory budget:
+	// specs whose projected materialised footprint exceeds it are rejected
+	// at submission unless they request streaming, and StreamAuto jobs
+	// switch to the constant-memory pipeline past it. Non-positive selects
+	// oslayout.DefaultStreamBudgetBytes.
+	StreamBudgetBytes int64
 	// Registry receives the server's metrics; a fresh one is created when
 	// nil. Exposed at /metrics either way.
 	Registry *obs.Registry
@@ -66,6 +72,7 @@ type Server struct {
 	start    time.Time
 	drivePar int
 	studies  *studyPool
+	budget   int64
 
 	jobsStarted   *obs.Counter
 	jobsFinished  *obs.Counter
@@ -88,7 +95,11 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	s := &Server{reg: reg, start: time.Now(), drivePar: cfg.DrivePar, studies: newStudyPool(cfg.StudyCache)}
+	budget := cfg.StreamBudgetBytes
+	if budget <= 0 {
+		budget = oslayout.DefaultStreamBudgetBytes
+	}
+	s := &Server{reg: reg, start: time.Now(), drivePar: cfg.DrivePar, studies: newStudyPool(cfg.StudyCache), budget: budget}
 	s.jobsStarted = reg.Counter("oslayout_jobs_started_total", "Jobs accepted for execution.")
 	s.jobsFinished = reg.Counter("oslayout_jobs_finished_total", "Jobs completed successfully.")
 	s.jobsFailed = reg.Counter("oslayout_jobs_failed_total", "Jobs that ended in an error.")
@@ -119,7 +130,7 @@ func New(cfg Config) *Server {
 	reg.GaugeFunc("oslayout_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 
-	s.jobs = newManager(cfg.Workers, cfg.MaxJobs, s.runJob)
+	s.jobs = newManager(cfg.Workers, cfg.MaxJobs, budget, s.runJob)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -172,11 +183,18 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 	if par == 0 {
 		par = s.drivePar
 	}
+	stream, err := j.Spec.streamMode()
+	if err != nil {
+		return nil, err
+	}
 	opts := expt.Options{
-		OSRefs:     j.Spec.Refs,
-		KernelSeed: j.Spec.Seed,
-		Recorder:   j.rec,
-		Par:        par,
+		OSRefs:            j.Spec.Refs,
+		KernelSeed:        j.Spec.Seed,
+		Recorder:          j.rec,
+		Par:               par,
+		Stream:            stream,
+		ChunkEvents:       j.Spec.Chunk,
+		StreamBudgetBytes: s.budget,
 		OnWindow: func(f obs.WindowFlush) {
 			s.windowFlushes.Inc()
 			fl := f
@@ -192,7 +210,7 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 	var pooled *studyEntry
 	if j.Spec.Compare != nil {
 		done := j.rec.Span("study.build")
-		entry, err := s.studies.get(studyKey{refs: j.Spec.Refs, seed: j.Spec.Seed}, func() (*oslayout.Study, error) {
+		entry, err := s.studies.get(studyKey{refs: j.Spec.Refs, seed: j.Spec.Seed, stream: stream, chunk: j.Spec.Chunk}, func() (*oslayout.Study, error) {
 			return expt.BuildStudy(opts)
 		})
 		done()
@@ -462,4 +480,35 @@ func ParseSizes(parts []string) ([]int, error) {
 		return nil, fmt.Errorf("no cache sizes given")
 	}
 	return sizes, nil
+}
+
+// ParseRefs parses a reference-count string with the same suffix syntax as
+// ParseSizes plus g/G for binary billions ("400000", "3m", "1g"). Shared by
+// the CLI's -refs flag and anything else that names reference volumes.
+// Overflowing uint64 is rejected rather than wrapped.
+func ParseRefs(s string) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty reference count")
+	}
+	var mult uint64 = 1
+	num := s
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult = 1 << 10
+		num = s[:len(s)-1]
+	case 'm', 'M':
+		mult = 1 << 20
+		num = s[:len(s)-1]
+	case 'g', 'G':
+		mult = 1 << 30
+		num = s[:len(s)-1]
+	}
+	v, err := strconv.ParseUint(num, 10, 64)
+	if err != nil || v == 0 {
+		return 0, fmt.Errorf("bad reference count %q", s)
+	}
+	if v > math.MaxUint64/mult {
+		return 0, fmt.Errorf("reference count %q overflows", s)
+	}
+	return v * mult, nil
 }

@@ -495,6 +495,92 @@ func TestParseSizes(t *testing.T) {
 	}
 }
 
+func TestParseRefs(t *testing.T) {
+	for in, want := range map[string]uint64{
+		"400000": 400_000,
+		"3m":     3 << 20,
+		"400k":   400 << 10,
+		"1g":     1 << 30,
+		"2G":     2 << 30,
+		"1K":     1 << 10,
+	} {
+		got, err := ParseRefs(in)
+		if err != nil {
+			t.Errorf("ParseRefs(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseRefs(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "0", "-3m", "x", "3mm", "17000000000000000000g", "18446744073709551616"} {
+		if _, err := ParseRefs(bad); err == nil {
+			t.Errorf("ParseRefs(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSubmitRejectsOverBudgetMaterialisation is the daemon's memory-safety
+// check: a spec that forces materialisation (stream=off) of a trace
+// projected past the retained-memory budget must be refused with a 400 at
+// submission — not accepted and OOM-killed mid-job. The same refs stream
+// fine, and modest refs still materialise.
+func TestSubmitRejectsOverBudgetMaterialisation(t *testing.T) {
+	s := New(Config{Workers: 1, MaxJobs: 4, StreamBudgetBytes: 1 << 20})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(spec string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/api/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// 200k refs project a multi-MiB materialised footprint — modest, but
+	// past this server's deliberately tiny 1 MiB budget, and still quick to
+	// actually run for the admitted variants below (Close drains the queue).
+	if code := post(`{"experiments":["table2"],"refs":200000,"stream":"off"}`); code != http.StatusBadRequest {
+		t.Errorf("over-budget stream=off spec: status %d, want 400", code)
+	}
+	if code := post(`{"experiments":["table2"],"refs":200000,"stream":"bogus"}`); code != http.StatusBadRequest {
+		t.Errorf("bad stream mode: status %d, want 400", code)
+	}
+	if code := post(`{"experiments":["table2"],"refs":200000,"chunk":-1}`); code != http.StatusBadRequest {
+		t.Errorf("negative chunk: status %d, want 400", code)
+	}
+	// The same refs are accepted when the job may stream (auto or on).
+	for _, spec := range []string{
+		`{"experiments":["table2"],"refs":200000}`,
+		`{"experiments":["table2"],"refs":200000,"stream":"on"}`,
+	} {
+		if code := post(spec); code != http.StatusAccepted {
+			t.Errorf("streamable spec %s: status %d, want 202", spec, code)
+		}
+	}
+}
+
+// TestStreamedJobMatchesMaterialised submits the same experiment twice —
+// once forcing the streaming pipeline, once with the default materialised
+// path — and requires digest equality: the HTTP surface preserves the
+// pipeline's bit-identity guarantee.
+func TestStreamedJobMatchesMaterialised(t *testing.T) {
+	_, ts := newTestServer(t)
+	mat := await(t, ts, submit(t, ts, fmt.Sprintf(`{"experiments":["table2"],"refs":%d}`, testRefs)).ID)
+	if mat.State != StateDone {
+		t.Fatalf("materialised job ended %s: %s", mat.State, mat.Error)
+	}
+	str := await(t, ts, submit(t, ts, fmt.Sprintf(`{"experiments":["table2"],"refs":%d,"stream":"on","chunk":4096}`, testRefs)).ID)
+	if str.State != StateDone {
+		t.Fatalf("streamed job ended %s: %s", str.State, str.Error)
+	}
+	if mat.Results["table2"].Digest != str.Results["table2"].Digest {
+		t.Errorf("streamed job digest %s != materialised %s",
+			str.Results["table2"].Digest, mat.Results["table2"].Digest)
+	}
+}
+
 // TestCompareJobsShareStudyAndStreams is the cross-job memoization check:
 // two identical compare jobs must render identically, and the second must
 // replay entirely from the pooled study's compiled streams — new stream

@@ -13,8 +13,10 @@ import (
 // layout-strategy cache and the compiled-stream cache, which is what turns
 // a repeated compare grid into a drive-only workload.
 type studyKey struct {
-	refs uint64
-	seed int64
+	refs   uint64
+	seed   int64
+	stream oslayout.StreamMode
+	chunk  int
 }
 
 // studyEntry is one pooled study plus the portion of its cache counters the

@@ -1,0 +1,181 @@
+package simulate
+
+// The chunked replay pipeline: the constant-memory counterpart of the
+// materialised compile-then-drive path. A header-only trace (trace.Source)
+// is regenerated window by window; each window is decoded and compiled —
+// per line size, carrying the one word of cross-chunk state repeat-elision
+// needs — and handed to the drive units over a bounded channel, so the
+// producer compiles window k+1 while the workers drive window k (double
+// buffering: two window buffers alternate between the free list and the
+// work queue). Memory is O(chunk), independent of trace length.
+//
+// Bit-identity with the materialised path holds link by link: the trace
+// source replays the identical event sequence (workload.Source), chunk-wise
+// compilation concatenates to the identical access stream (elision can only
+// strike a window's first line, and the carried prev is exactly the
+// predecessor span's last line — the same invariant CompileEvents exploits
+// to pre-size its arrays), and the per-window driveUnits barrier keeps every
+// cache's access order sequential. Only the windowing differs, and the
+// windowing is invisible to the caches.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"oslayout/internal/cache"
+	"oslayout/internal/layout"
+	"oslayout/internal/obs"
+	"oslayout/internal/trace"
+)
+
+// chunkCompiler compiles successive event windows of one line-size group,
+// carrying the repeat-elision state across windows: prev is the line address
+// of the previous window's final span's last line (elided or not), exactly
+// the value the drive-time comparison would hold at that point.
+type chunkCompiler struct {
+	spans [trace.NumDomains][]lineSpan
+	prev  uint64
+}
+
+func newChunkCompiler(t *trace.Trace, osL, appL *layout.Layout, lineSize int) (*chunkCompiler, error) {
+	if lineSize <= 0 || bits.OnesCount(uint(lineSize)) != 1 {
+		return nil, fmt.Errorf("simulate: line size %d not a positive power of two", lineSize)
+	}
+	spans := spanTables(t, osL, appL, lineSize)
+	for _, tab := range spans {
+		for _, sp := range tab {
+			if sp.Last > streamLineMask {
+				return nil, fmt.Errorf("simulate: line address %#x exceeds the packed 32-bit stream range; cannot compile", sp.Last)
+			}
+		}
+	}
+	return &chunkCompiler{spans: spans, prev: ^uint64(0)}, nil
+}
+
+// compile expands and elides one window of decoded block events into lw,
+// reusing its buffers. The emitted accesses are exactly the corresponding
+// slice of the whole-stream compilation; eventEnd offsets are relative to
+// the window.
+func (cc *chunkCompiler) compile(attrs []uint32, lw *lineWindow) error {
+	accs := lw.accs[:0]
+	eventEnd := lw.eventEnd[:0]
+	prev := cc.prev
+	for _, a := range attrs {
+		sp := cc.spans[a>>eventDomainShift][a&(1<<eventDomainShift-1)]
+		hi := uint64(a) << streamAttrShift
+		for line := sp.First; line <= sp.Last; line++ {
+			if line == prev {
+				continue
+			}
+			prev = line
+			accs = append(accs, hi|line)
+		}
+		eventEnd = append(eventEnd, uint32(len(accs)))
+	}
+	if len(accs) > math.MaxUint32 {
+		return fmt.Errorf("simulate: window of %d line accesses exceeds the %d offset limit", len(accs), math.MaxUint32)
+	}
+	cc.prev = prev
+	lw.accs, lw.eventEnd = accs, eventEnd
+	return nil
+}
+
+// runManyStreamed is RunManyOpt's replay loop for header-only traces. The
+// caches, results and drive units arrive already built; this function owns
+// windowing, incremental compilation and the producer/consumer handoff.
+// Streaming deliberately bypasses opt.Streams: memoizing a stream that is
+// never materialised would defeat the memory bound, which is the reason
+// streaming was selected.
+func runManyStreamed(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config,
+	caches []*cache.Cache, results []*Result, obsAt func(int) obs.Observer,
+	lineSizes []int, units []driveUnit, opt Options) ([]*Result, error) {
+
+	compilers := make([]*chunkCompiler, len(lineSizes))
+	for k, ls := range lineSizes {
+		cc, err := newChunkCompiler(t, osL, appL, ls)
+		if err != nil {
+			return nil, err
+		}
+		compilers[k] = cc
+	}
+
+	var refsTab [trace.NumDomains][]uint64
+	refsTab[trace.DomainOS] = refsOf(t.OS)
+	if t.App != nil {
+		refsTab[trace.DomainApp] = refsOf(t.App)
+	}
+
+	tot := t.Summarize()
+	for i := range cfgs {
+		if o := obsAt(i); o != nil {
+			o.Begin(cfgs[i], tot.Blocks)
+			caches[i].SetEvictionHook(o.Evict)
+		}
+	}
+
+	// Double buffering: two window buffers cycle between the free list and
+	// the work queue, so the producer decodes and compiles the next window
+	// while the drive units replay the current one. Buffer capacity grows to
+	// the high-water chunk footprint on the first windows and is reused
+	// thereafter — the O(chunk) bound.
+	type item struct {
+		d   *unitData
+		err error
+	}
+	free := make(chan *unitData, 2)
+	for i := 0; i < 2; i++ {
+		free <- &unitData{refsTab: refsTab, lines: make([]lineWindow, len(lineSizes))}
+	}
+	work := make(chan item, 2)
+	go func() {
+		defer close(work)
+		r := t.Chunks()
+		for {
+			batch, err := r.Read()
+			if err != nil {
+				work <- item{err: err}
+				return
+			}
+			if len(batch) == 0 {
+				return
+			}
+			d := <-free
+			d.attrs = d.attrs[:0]
+			for _, e := range batch {
+				if !e.IsBlock() {
+					continue
+				}
+				d.attrs = append(d.attrs, uint32(e.Domain())<<eventDomainShift|uint32(e.Block()))
+			}
+			for k := range compilers {
+				if err := compilers[k].compile(d.attrs, &d.lines[k]); err != nil {
+					work <- item{err: err}
+					return
+				}
+			}
+			work <- item{d: d}
+		}
+	}()
+
+	var firstErr error
+	for it := range work {
+		if it.err != nil {
+			firstErr = it.err
+			continue
+		}
+		if firstErr == nil {
+			driveUnits(units, it.d, opt.Workers)
+		}
+		free <- it.d
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i := range results {
+		caches[i].Stats.Refs = tot.Refs
+		results[i].Stats = caches[i].Stats
+	}
+	return results, nil
+}

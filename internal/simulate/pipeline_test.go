@@ -1,0 +1,135 @@
+package simulate
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"oslayout/internal/cache"
+	"oslayout/internal/obs"
+)
+
+// TestStreamedMatchesMaterialised is the pipeline's acceptance test:
+// replaying a trace through the chunked pipeline must produce results
+// bit-identical to the materialised path, at every chunk size — including
+// one larger than the trace, so the whole stream is one window — and every
+// worker count.
+func TestStreamedMatchesMaterialised(t *testing.T) {
+	tr, osL, appL := mixedTrace(30_000, 42)
+	want, err := RunMany(tr, osL, appL, equivalenceGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1 << 10, 64 << 10, 1 << 20, len(tr.Events) + 1} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("chunk=%d/workers=%d", chunk, workers), func(t *testing.T) {
+				view := tr.ChunkView(chunk)
+				if !view.Streaming() {
+					t.Fatal("ChunkView did not produce a streaming trace")
+				}
+				got, err := RunManyOpt(view, osL, appL, equivalenceGrid, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range equivalenceGrid {
+					if !reflect.DeepEqual(want[i], got[i]) {
+						t.Errorf("%v: streamed result differs from materialised\n  mat: %+v\n  str: %+v",
+							equivalenceGrid[i], want[i].Stats, got[i].Stats)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStreamedObservedMatchesMaterialised checks that observers see the
+// identical event/miss/eviction sequence — and thus produce identical
+// windowed statistics — whether the replay is materialised or chunked.
+func TestStreamedObservedMatchesMaterialised(t *testing.T) {
+	tr, osL, appL := mixedTrace(20_000, 7)
+	cfgs := []cache.Config{
+		{Size: 1 << 10, Line: 32, Assoc: 1},
+		{Size: 2 << 10, Line: 64, Assoc: 2},
+	}
+	collect := func(streamed bool, chunk, workers int) []*obs.SimStats {
+		t.Helper()
+		target := tr
+		if streamed {
+			target = tr.ChunkView(chunk)
+		}
+		observers := make([]obs.Observer, len(cfgs))
+		stats := make([]*obs.SimStats, len(cfgs))
+		for i := range cfgs {
+			s := obs.NewSimStats(16)
+			stats[i] = s
+			observers[i] = s
+		}
+		if _, err := RunManyOpt(target, osL, appL, cfgs, Options{Observers: observers, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	want := collect(false, 0, 1)
+	for _, chunk := range []int{512, 8 << 10} {
+		for _, workers := range []int{1, 4} {
+			got := collect(true, chunk, workers)
+			for i := range cfgs {
+				if !reflect.DeepEqual(want[i].Windows, got[i].Windows) {
+					t.Errorf("chunk=%d workers=%d cfg=%v: windowed series differ", chunk, workers, cfgs[i])
+				}
+				if !reflect.DeepEqual(want[i].SetMisses, got[i].SetMisses) ||
+					want[i].Evictions != got[i].Evictions ||
+					!reflect.DeepEqual(want[i].TopPairs(10), got[i].TopPairs(10)) {
+					t.Errorf("chunk=%d workers=%d cfg=%v: observer attributions differ", chunk, workers, cfgs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedSingleConfigPaths checks the single-cache replay entry points
+// (Run, RunSplit, RunReserved, RunUtil) accept header-only traces and match
+// their materialised results exactly.
+func TestStreamedSingleConfigPaths(t *testing.T) {
+	tr, osL, appL := mixedTrace(12_000, 11)
+	view := tr.ChunkView(1 << 10)
+	cfg := cache.Config{Size: 1 << 10, Line: 32, Assoc: 1}
+
+	wantRun, err := Run(tr, osL, appL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRun, err := Run(view, osL, appL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantRun, gotRun) {
+		t.Errorf("Run: streamed differs from materialised")
+	}
+
+	osCfg := cache.Config{Size: 512, Line: 32, Assoc: 1}
+	appCfg := cache.Config{Size: 512, Line: 32, Assoc: 1}
+	wantSplit, err := RunSplit(tr, osL, appL, osCfg, appCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSplit, err := RunSplit(view, osL, appL, osCfg, appCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantSplit, gotSplit) {
+		t.Errorf("RunSplit: streamed differs from materialised")
+	}
+
+	wantUtil, wantU, err := RunUtil(tr, osL, appL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotUtil, gotU, err := RunUtil(view, osL, appL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantUtil, gotUtil) || wantU != gotU {
+		t.Errorf("RunUtil: streamed differs from materialised")
+	}
+}

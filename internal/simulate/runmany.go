@@ -121,6 +121,14 @@ func RunManyOpt(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, o
 		}
 		byLine[cfg.Line] = append(byLine[cfg.Line], i)
 	}
+	units := buildUnits(lineSizes, byLine, caches, results, obsAt, opt.Workers)
+
+	// Header-only traces replay through the chunked pipeline: the stream is
+	// regenerated, compiled and driven window by window, never materialised.
+	if t.Streaming() {
+		return runManyStreamed(t, osL, appL, cfgs, caches, results, obsAt, lineSizes, units, opt)
+	}
+
 	streams := make([]*Stream, len(lineSizes))
 	if opt.Streams != nil {
 		for k, ls := range lineSizes {
@@ -150,16 +158,36 @@ func RunManyOpt(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, o
 		}
 	}
 
-	// Partition each line-size group into drive units. Within a group,
-	// direct-mapped power-of-two caches form an inclusion chain when
-	// ordered by ascending set count: a hit in a smaller member guarantees
-	// a hit in every larger one (set-refinement), and a direct-mapped hit
-	// is a no-op, so the larger members can be skipped outright. The chain
-	// is therefore one sequential unit; every other geometry is
-	// independent and becomes its own unit.
+	// The whole compiled stream is one window.
+	ev := streams[0].Events()
+	data := &unitData{attrs: ev.attrs, refsTab: ev.refsTab, lines: make([]lineWindow, len(streams))}
+	for k, s := range streams {
+		data.lines[k] = lineWindow{accs: s.accs, eventEnd: s.eventEnd}
+	}
+	driveUnits(units, data, opt.Workers)
+
+	for i := range results {
+		// Per-domain references are a property of the trace alone, so they
+		// are summed once during decode and stamped on every cache.
+		caches[i].Stats.Refs = refs
+		results[i].Stats = caches[i].Stats
+	}
+	return results, nil
+}
+
+// buildUnits partitions each line-size group into drive units. Within a
+// group, direct-mapped power-of-two caches form an inclusion chain when
+// ordered by ascending set count: a hit in a smaller member guarantees a hit
+// in every larger one (set-refinement), and a direct-mapped hit is a no-op,
+// so the larger members can be skipped outright. The chain is therefore one
+// sequential unit; every other geometry is independent and becomes its own
+// unit. With workers <= 1 the whole group is one unit, driven in a single
+// pass exactly as before.
+func buildUnits(lineSizes []int, byLine map[int][]int, caches []*cache.Cache,
+	results []*Result, obsAt func(int) obs.Observer, workers int) []driveUnit {
+
 	var units []driveUnit
 	for k, ls := range lineSizes {
-		s := streams[k]
 		var chainIdx, restIdx []int
 		for _, i := range byLine[ls] {
 			if caches[i].DirectMappedPow2() {
@@ -178,10 +206,8 @@ func RunManyOpt(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, o
 			}
 			return rs
 		}
-		if opt.Workers <= 1 {
-			// Sequential: the whole group is one unit, driven in a single
-			// pass over the stream exactly as before.
-			units = append(units, driveUnit{s, mkRunners(chainIdx), mkRunners(restIdx)})
+		if workers <= 1 {
+			units = append(units, newDriveUnit(k, mkRunners(chainIdx), mkRunners(restIdx)))
 			continue
 		}
 		// Parallel: the chain is one unit, each rest cache its own. A unit
@@ -189,70 +215,87 @@ func RunManyOpt(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, o
 		// disjoint state and may drive concurrently over the shared
 		// read-only stream.
 		if len(chainIdx) > 0 {
-			units = append(units, driveUnit{s, mkRunners(chainIdx), nil})
+			units = append(units, newDriveUnit(k, mkRunners(chainIdx), nil))
 		}
 		for _, i := range restIdx {
-			units = append(units, driveUnit{s, nil, mkRunners([]int{i})})
+			units = append(units, newDriveUnit(k, nil, mkRunners([]int{i})))
 		}
 	}
-	driveUnits(units, opt.Workers)
-
-	for i := range results {
-		// Per-domain references are a property of the trace alone, so they
-		// are summed once during decode and stamped on every cache.
-		caches[i].Stats.Refs = refs
-		results[i].Stats = caches[i].Stats
-	}
-	return results, nil
+	return units
 }
 
 // eventDomainShift packs a resolved block event as domain<<31 | block.
 const eventDomainShift = 31
 
-// driveUnit is one independently drivable slice of a replay: a compiled
-// stream plus the runners that consume it. chain holds direct-mapped
-// power-of-two caches in ascending set order (inclusion semantics); rest
-// caches always run. No two units share a cache, result or observer.
-type driveUnit struct {
-	s     *Stream
-	chain []runner
-	rest  []runner
+// lineWindow is one line-size group's compiled arrays for one replay
+// window: the elided accesses plus the per-event end offsets (relative to
+// the window). For a materialised replay the window is the whole stream; for
+// a streamed replay it is one chunk.
+type lineWindow struct {
+	accs     []uint64
+	eventEnd []uint32
 }
 
-// watchers collects the unit's non-nil observers, in config order.
-func (u *driveUnit) watchers() []obs.Observer {
-	var ws []obs.Observer
-	for _, rs := range [][]runner{u.chain, u.rest} {
+// unitData is one replay window handed to the drive units: the window's
+// block events, the shared per-block reference tables, and one lineWindow
+// per line-size group (indexed by driveUnit.lineIdx).
+type unitData struct {
+	attrs   []uint32
+	refsTab [trace.NumDomains][]uint64
+	lines   []lineWindow
+}
+
+// driveUnit is one independently drivable slice of a replay: a line-size
+// group index plus the runners that consume it. chain holds direct-mapped
+// power-of-two caches in ascending set order (inclusion semantics); rest
+// caches always run. No two units share a cache, result or observer, so
+// units drive concurrently — and a unit keeps its caches across windows, so
+// chunked replay is a plain continuation of cache state.
+type driveUnit struct {
+	lineIdx int
+	chain   []runner
+	rest    []runner
+	// ws caches the unit's non-nil observers, in config order; computed once
+	// at build time so per-window dispatch allocates nothing.
+	ws []obs.Observer
+}
+
+func newDriveUnit(lineIdx int, chain, rest []runner) driveUnit {
+	u := driveUnit{lineIdx: lineIdx, chain: chain, rest: rest}
+	for _, rs := range [][]runner{chain, rest} {
 		for k := range rs {
 			if rs[k].obs != nil {
-				ws = append(ws, rs[k].obs)
+				u.ws = append(u.ws, rs[k].obs)
 			}
 		}
 	}
-	return ws
+	return u
 }
 
-// drive replays the unit's stream through its caches, picking the observed
+// drive replays one window through the unit's caches, picking the observed
 // walk only when the unit actually carries an observer.
-func (u *driveUnit) drive() {
-	if ws := u.watchers(); ws != nil {
-		driveStreamObserved(u.s, u.chain, u.rest, ws)
+func (u *driveUnit) drive(d *unitData) {
+	lw := &d.lines[u.lineIdx]
+	if u.ws != nil {
+		driveWindowObserved(d.attrs, lw.eventEnd, lw.accs, d.refsTab, u.chain, u.rest, u.ws)
 	} else {
-		driveStream(u.s, u.chain, u.rest)
+		driveWindow(lw.accs, u.chain, u.rest)
 	}
 }
 
-// driveUnits runs the units, fanning them across min(workers, len(units))
-// goroutines claiming units off a shared counter. Unit order is irrelevant
-// to the results — units are mutually independent — so the fan-out is
-// deterministic by construction, not by scheduling.
-func driveUnits(units []driveUnit, workers int) {
+// driveUnits runs the units over one window, fanning them across
+// min(workers, len(units)) goroutines claiming units off a shared counter.
+// Unit order is irrelevant to the results — units are mutually independent —
+// so the fan-out is deterministic by construction, not by scheduling. In
+// chunked replay this is called once per window: the return is the barrier
+// that keeps every unit's access order sequential across windows.
+func driveUnits(units []driveUnit, d *unitData, workers int) {
 	if workers > len(units) {
 		workers = len(units)
 	}
 	if workers <= 1 {
 		for k := range units {
-			units[k].drive()
+			units[k].drive(d)
 		}
 		return
 	}
@@ -267,21 +310,21 @@ func driveUnits(units []driveUnit, workers int) {
 				if k >= len(units) {
 					return
 				}
-				units[k].drive()
+				units[k].drive(d)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
-// driveStream replays a compiled stream through the unit's caches. Span
-// expansion and same-line elision already happened at compile time, so the
-// loop touches only the flat pre-elided access arrays; the inclusion-chain
-// skip (a direct-mapped power-of-two hit implies a hit in every larger
-// chain member, with no state change either way) remains a drive-time rule
-// because it depends on per-cache hit state.
-func driveStream(s *Stream, chain, rest []runner) {
-	for _, v := range s.accs {
+// driveWindow replays one window of compiled accesses through the unit's
+// caches. Span expansion and same-line elision already happened at compile
+// time, so the loop touches only the flat pre-elided access arrays; the
+// inclusion-chain skip (a direct-mapped power-of-two hit implies a hit in
+// every larger chain member, with no state change either way) remains a
+// drive-time rule because it depends on per-cache hit state.
+func driveWindow(accs []uint64, chain, rest []runner) {
+	for _, v := range accs {
 		line := v & streamLineMask
 		a := uint32(v >> streamAttrShift)
 		d := trace.Domain(a >> eventDomainShift)
@@ -303,28 +346,28 @@ func driveStream(s *Stream, chain, rest []runner) {
 	}
 }
 
-// driveStreamObserved is driveStream plus observer notification: the walk
-// follows the stream's per-event offsets so every trace event — including
+// driveWindowObserved is driveWindow plus observer notification: the walk
+// follows the window's per-event offsets so every trace event — including
 // ones whose accesses were all elided at compile time — is announced to
 // every watcher of the unit in exact replay order, and each recorded miss
 // is forwarded to its runner's observer (evictions reach observers through
 // the cache-side hook installed at setup). The cache-visible access
-// sequence is exactly driveStream's, so results stay bit-identical to the
+// sequence is exactly driveWindow's, so results stay bit-identical to the
 // unobserved path; and because every observer belongs to exactly one unit,
 // the per-observer event/miss sequence is identical whether units run
-// sequentially or in parallel.
-func driveStreamObserved(s *Stream, chain, rest []runner, watchers []obs.Observer) {
-	accs := s.accs
-	refsTab := s.ev.refsTab
+// sequentially or in parallel, and whether windows arrive whole or chunked.
+func driveWindowObserved(attrs []uint32, eventEnd []uint32, accs []uint64,
+	refsTab [trace.NumDomains][]uint64, chain, rest []runner, watchers []obs.Observer) {
+
 	start := uint32(0)
-	for i, a := range s.ev.attrs {
+	for i, a := range attrs {
 		d := trace.Domain(a >> eventDomainShift)
 		b := a & (1<<eventDomainShift - 1)
 		refs := refsTab[d][b]
 		for _, w := range watchers {
 			w.Event(d, b, refs)
 		}
-		end := s.eventEnd[i]
+		end := eventEnd[i]
 		for j := start; j < end; j++ {
 			line := accs[j] & streamLineMask
 			for k := range chain {

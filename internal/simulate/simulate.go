@@ -150,51 +150,63 @@ func run(t *trace.Trace, osL, appL *layout.Layout,
 	}
 	res := newResult(t, osL)
 
-	for _, e := range t.Events {
-		if !e.IsBlock() {
-			continue
+	// Iterate in windows so header-only traces replay in O(chunk) memory;
+	// cache and routing state plainly carries across window boundaries.
+	r := t.Chunks()
+	for {
+		batch, rerr := r.Read()
+		if rerr != nil {
+			return nil, rerr
 		}
-		d := e.Domain()
-		b := e.Block()
-		var l *layout.Layout
-		var p *program.Program
-		if d == trace.DomainOS {
-			l, p = osL, t.OS
-		} else {
-			l, p = appL, t.App
+		if len(batch) == 0 {
+			break
 		}
-		if pre != nil {
-			pre(d, b)
-		}
-		addr := l.Addr[b]
-		size := p.Block(b).Size
-		first := route(d, addr)
-		first.Stats.Refs[d] += trace.RefsOf(size)
-		startLine := first.LineOf(addr)
-		endLine := first.LineOf(addr + uint64(size) - 1)
-		for line := startLine; line <= endLine; line++ {
-			c := route(d, line)
-			switch c.AccessLine(line, d) {
-			case cache.SelfMiss:
-				res.BlockMisses[d][b]++
-				res.BlockSelf[d][b]++
-			case cache.CrossMiss:
-				res.BlockMisses[d][b]++
-				res.BlockCross[d][b]++
-			case cache.ColdMiss:
-				res.BlockMisses[d][b]++
+		for _, e := range batch {
+			if !e.IsBlock() {
+				continue
 			}
-			if util {
-				lineBase := line * uint64(c.Config().Line)
-				from := 0
-				if addr > lineBase {
-					from = int(addr-lineBase) / trace.WordSize
+			d := e.Domain()
+			b := e.Block()
+			var l *layout.Layout
+			var p *program.Program
+			if d == trace.DomainOS {
+				l, p = osL, t.OS
+			} else {
+				l, p = appL, t.App
+			}
+			if pre != nil {
+				pre(d, b)
+			}
+			addr := l.Addr[b]
+			size := p.Block(b).Size
+			first := route(d, addr)
+			first.Stats.Refs[d] += trace.RefsOf(size)
+			startLine := first.LineOf(addr)
+			endLine := first.LineOf(addr + uint64(size) - 1)
+			for line := startLine; line <= endLine; line++ {
+				c := route(d, line)
+				switch c.AccessLine(line, d) {
+				case cache.SelfMiss:
+					res.BlockMisses[d][b]++
+					res.BlockSelf[d][b]++
+				case cache.CrossMiss:
+					res.BlockMisses[d][b]++
+					res.BlockCross[d][b]++
+				case cache.ColdMiss:
+					res.BlockMisses[d][b]++
 				}
-				to := c.Config().Line/trace.WordSize - 1
-				if end := addr + uint64(size); end < lineBase+uint64(c.Config().Line) {
-					to = int(end-1-lineBase) / trace.WordSize
+				if util {
+					lineBase := line * uint64(c.Config().Line)
+					from := 0
+					if addr > lineBase {
+						from = int(addr-lineBase) / trace.WordSize
+					}
+					to := c.Config().Line/trace.WordSize - 1
+					if end := addr + uint64(size); end < lineBase+uint64(c.Config().Line) {
+						to = int(end-1-lineBase) / trace.WordSize
+					}
+					c.MarkWords(line, from, to)
 				}
-				c.MarkWords(line, from, to)
 			}
 		}
 	}

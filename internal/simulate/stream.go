@@ -46,7 +46,9 @@ type Events struct {
 
 // Decode resolves the trace's block events once: markers are dropped and
 // each event is packed into a uint32 alongside the per-block reference
-// tables the replay needs.
+// tables the replay needs. Decode materialises the packed events — for
+// header-only traces that should stay in O(chunk) memory, use the chunked
+// pipeline (RunManyOpt routes there automatically) instead.
 func Decode(t *trace.Trace) *Events {
 	ev := &Events{}
 	ev.refsTab[trace.DomainOS] = refsOf(t.OS)
@@ -55,16 +57,23 @@ func Decode(t *trace.Trace) *Events {
 		ev.refsTab[trace.DomainApp] = refsOf(t.App)
 		ev.counts[trace.DomainApp] = make([]uint32, t.App.NumBlocks())
 	}
-	ev.attrs = make([]uint32, 0, len(t.Events))
-	for _, e := range t.Events {
-		if !e.IsBlock() {
-			continue
+	ev.attrs = make([]uint32, 0, t.NumEvents())
+	r := t.Chunks()
+	for {
+		batch, err := r.Read()
+		if err != nil || len(batch) == 0 {
+			break
 		}
-		d := e.Domain()
-		b := e.Block()
-		ev.refs[d] += ev.refsTab[d][b]
-		ev.counts[d][b]++
-		ev.attrs = append(ev.attrs, uint32(d)<<eventDomainShift|uint32(b))
+		for _, e := range batch {
+			if !e.IsBlock() {
+				continue
+			}
+			d := e.Domain()
+			b := e.Block()
+			ev.refs[d] += ev.refsTab[d][b]
+			ev.counts[d][b]++
+			ev.attrs = append(ev.attrs, uint32(d)<<eventDomainShift|uint32(b))
+		}
 	}
 	return ev
 }

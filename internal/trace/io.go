@@ -36,28 +36,40 @@ const (
 	traceVersion = 1
 )
 
-// WriteTo serialises the trace.
+// WriteTo serialises the trace. Header-only traces stream their events from
+// the Source in chunks, so a billion-reference trace serialises in constant
+// memory.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
 	if err := writeHeader(cw, t); err != nil {
 		return cw.n, err
 	}
-	putUvarint(cw, uint64(len(t.Events)))
+	putUvarint(cw, uint64(t.NumEvents()))
 	var prev [NumDomains]int64
-	for _, e := range t.Events {
-		switch {
-		case e.IsBegin():
-			cw.putByte(tagBegin)
-			putUvarint(cw, uint64(e.Class()))
-		case e.IsEnd():
-			cw.putByte(tagEnd)
-		default:
-			d := e.Domain()
-			cw.putByte(byte(d))
-			delta := int64(e.Block()) - prev[d]
-			putVarint(cw, delta)
-			prev[d] = int64(e.Block())
+	r := t.Chunks()
+	for {
+		batch, err := r.Read()
+		if err != nil {
+			return cw.n, err
+		}
+		if len(batch) == 0 {
+			break
+		}
+		for _, e := range batch {
+			switch {
+			case e.IsBegin():
+				cw.putByte(tagBegin)
+				putUvarint(cw, uint64(e.Class()))
+			case e.IsEnd():
+				cw.putByte(tagEnd)
+			default:
+				d := e.Domain()
+				cw.putByte(byte(d))
+				delta := int64(e.Block()) - prev[d]
+				putVarint(cw, delta)
+				prev[d] = int64(e.Block())
+			}
 		}
 	}
 	if cw.err != nil {

@@ -1,0 +1,109 @@
+package trace
+
+// Chunked event streaming: the constant-memory counterpart of the Events
+// slice. A header-only Trace carries no materialised events; instead its
+// Source reopens the identical event sequence on demand and its Total
+// records the stream's aggregate counts (event count, block-event count,
+// per-domain references), so every consumer that only needs totals — the
+// CLI's stats view, observer Begin calls, serve throughput counters — works
+// without a single event in memory. Consumers that need the events walk
+// them in bounded windows through Chunks, whether the trace is materialised
+// or regenerated.
+
+// Reader yields a trace's events in bounded batches, in trace order. The
+// returned slice is only valid until the next Read call (readers reuse
+// their buffer); an empty batch with a nil error marks the end of the
+// stream. A Reader is single-use: obtain a fresh one per pass.
+type Reader interface {
+	Read() ([]Event, error)
+}
+
+// Totals summarises a complete event stream, so header-only traces can
+// answer aggregate queries without replaying.
+type Totals struct {
+	// Events counts all events, markers included (what len(Events) would
+	// be); Blocks counts only basic-block events (what the replay engine
+	// processes).
+	Events int
+	Blocks int
+	// Refs is the per-domain instruction-word reference total.
+	Refs [NumDomains]uint64
+}
+
+// Streaming reports whether the trace is header-only: its events live
+// behind Source rather than in the Events slice.
+func (t *Trace) Streaming() bool { return t.Source != nil }
+
+// Chunks returns a Reader over the trace's events: header-only traces
+// reopen their Source, materialised traces yield their Events slice in
+// bounded windows. Every call restarts from the beginning.
+func (t *Trace) Chunks() Reader {
+	if t.Source != nil {
+		return t.Source()
+	}
+	return &sliceReader{events: t.Events, chunk: DefaultChunkEvents}
+}
+
+// DefaultChunkEvents is the default streaming window: big enough that
+// per-chunk costs (channel handoff, drive-pool barrier) vanish against the
+// ~1M-access drive work, small enough that two in-flight windows stay tens
+// of megabytes.
+const DefaultChunkEvents = 1 << 20
+
+// sliceReader windows a materialised event slice.
+type sliceReader struct {
+	events []Event
+	chunk  int
+	pos    int
+}
+
+func (r *sliceReader) Read() ([]Event, error) {
+	if r.pos >= len(r.events) {
+		return nil, nil
+	}
+	end := r.pos + r.chunk
+	if end > len(r.events) {
+		end = len(r.events)
+	}
+	batch := r.events[r.pos:end]
+	r.pos = end
+	return batch, nil
+}
+
+// ChunkView returns a header-only view of a materialised trace that
+// replays its events in windows of chunkEvents (DefaultChunkEvents when
+// <= 0): the same programs, the same event sequence, no Events slice on
+// the view. It is how tests drive the streaming pipeline at exact chunk
+// sizes, and how a loaded trace is replayed under a memory bound.
+func (t *Trace) ChunkView(chunkEvents int) *Trace {
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultChunkEvents
+	}
+	events := t.Events
+	view := &Trace{Name: t.Name, OS: t.OS, App: t.App, Total: t.Summarize()}
+	view.Source = func() Reader {
+		return &sliceReader{events: events, chunk: chunkEvents}
+	}
+	return view
+}
+
+// Summarize computes the trace's Totals: the cached Total for header-only
+// traces, a single scan for materialised ones.
+func (t *Trace) Summarize() *Totals {
+	if t.Total != nil {
+		return t.Total
+	}
+	tot := &Totals{Events: len(t.Events)}
+	for _, e := range t.Events {
+		if !e.IsBlock() {
+			continue
+		}
+		tot.Blocks++
+		if e.Domain() == DomainOS {
+			tot.Refs[DomainOS] += RefsOf(t.OS.Block(e.Block()).Size)
+		} else {
+			tot.Refs[DomainApp] += RefsOf(t.App.Block(e.Block()).Size)
+		}
+	}
+	return tot
+}

@@ -114,18 +114,37 @@ func RefsOf(size int32) uint64 {
 }
 
 // Trace is a complete captured fetch stream plus the programs it refers to.
+// A trace comes in two forms: materialised (Events holds the full stream)
+// and header-only (Events is nil; Source regenerates the identical stream
+// chunk-by-chunk and Total carries its aggregate counts — see stream.go).
+// Header-only traces bound replay memory by the chunk size rather than the
+// stream length.
 type Trace struct {
 	Name   string
 	OS     *program.Program
 	App    *program.Program // nil when the workload has no traced application
 	Events []Event
+	// Source, when non-nil, reopens the trace's event stream; each call
+	// must yield the identical sequence (deterministic regeneration).
+	Source func() Reader
+	// Total summarises the stream for header-only traces; nil means derive
+	// from Events.
+	Total *Totals
 }
 
 // NumEvents returns the number of events (blocks plus markers).
-func (t *Trace) NumEvents() int { return len(t.Events) }
+func (t *Trace) NumEvents() int {
+	if t.Total != nil {
+		return t.Total.Events
+	}
+	return len(t.Events)
+}
 
 // Refs returns the total instruction-word references per domain.
 func (t *Trace) Refs() (os, app uint64) {
+	if t.Total != nil {
+		return t.Total.Refs[DomainOS], t.Total.Refs[DomainApp]
+	}
 	for _, e := range t.Events {
 		if !e.IsBlock() {
 			continue

@@ -1,0 +1,262 @@
+package workload
+
+// Streaming trace generation: the constant-memory counterpart of Generate.
+// A Source packages a (kernel, workload, options) triple with its application
+// image built exactly once — layouts and stream caches key on program
+// pointers, so every reopened stream must reference the same programs — and
+// reopens the identical event sequence on demand. Identity across reopens is
+// by construction: each Open seeds a fresh random source and replays the
+// same draw order, and Generate itself is a drain of the same generator, so
+// the streamed and materialised event sequences cannot diverge.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oslayout/internal/appgen"
+	"oslayout/internal/kernelgen"
+	"oslayout/internal/program"
+	"oslayout/internal/trace"
+)
+
+// Source regenerates a workload's trace deterministically. Every Open yields
+// the identical event sequence; the application image is built once and
+// shared by all reopens (and by the header-only Trace), keeping program
+// pointer identity stable.
+type Source struct {
+	k   *kernelgen.Kernel
+	w   Workload
+	opt Options
+	app *appgen.App
+}
+
+// NewSource validates the workload against the kernel and returns a
+// reopenable trace source.
+func NewSource(k *kernelgen.Kernel, w Workload, opt Options) (*Source, error) {
+	opt.fill()
+	// Validate dispatch wiring and the class mix up front, so Open cannot
+	// fail. newSelector draws nothing from its rng at construction, so a
+	// throwaway source is fine here.
+	if _, err := newSelector(k, &w, rand.New(rand.NewSource(opt.Seed))); err != nil {
+		return nil, err
+	}
+	var total float64
+	for _, v := range w.ClassMix {
+		total += v
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("workload %s: empty class mix", w.Name)
+	}
+	s := &Source{k: k, w: w, opt: opt}
+	if w.HasApp() {
+		s.app = w.BuildApp()
+	}
+	return s, nil
+}
+
+// App returns the workload's application image (nil for OS-only workloads).
+func (s *Source) App() *appgen.App { return s.app }
+
+// Open starts a fresh replay of the event stream. Batches honour the
+// options' ChunkEvents as a low-water mark: a batch ends at the first
+// segment boundary (application burst or OS invocation) at or past it, so
+// segments are never split across batches.
+func (s *Source) Open() trace.Reader {
+	return &genReader{g: s.generator(), chunk: s.chunkEvents()}
+}
+
+func (s *Source) chunkEvents() int {
+	if s.opt.ChunkEvents > 0 {
+		return s.opt.ChunkEvents
+	}
+	return trace.DefaultChunkEvents
+}
+
+// Trace returns a header-only trace over the source: Totals are computed by
+// one counting pass (events are generated and discarded, never retained), so
+// the result answers aggregate queries and replays in O(chunk) memory.
+func (s *Source) Trace() (*trace.Trace, error) {
+	tot, err := s.Summarize()
+	if err != nil {
+		return nil, err
+	}
+	t := &trace.Trace{Name: s.w.Name, OS: s.k.Prog, Source: s.Open, Total: tot}
+	if s.app != nil {
+		t.App = s.app.Prog
+	}
+	return t, nil
+}
+
+// Summarize runs one counting pass over the stream, returning its totals
+// without retaining any events.
+func (s *Source) Summarize() (*trace.Totals, error) {
+	r := s.Open()
+	tot := &trace.Totals{}
+	for {
+		batch, err := r.Read()
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			return tot, nil
+		}
+		tot.Events += len(batch)
+		for _, e := range batch {
+			if !e.IsBlock() {
+				continue
+			}
+			tot.Blocks++
+			if e.Domain() == trace.DomainOS {
+				tot.Refs[trace.DomainOS] += trace.RefsOf(s.k.Prog.Block(e.Block()).Size)
+			} else {
+				tot.Refs[trace.DomainApp] += trace.RefsOf(s.app.Prog.Block(e.Block()).Size)
+			}
+		}
+	}
+}
+
+// GenerateStreaming is the streaming counterpart of Generate: it returns a
+// header-only trace whose events are regenerated chunk-by-chunk on every
+// replay instead of being materialised.
+func GenerateStreaming(k *kernelgen.Kernel, w Workload, opt Options) (*trace.Trace, *appgen.App, error) {
+	s, err := NewSource(k, w, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := s.Trace()
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, s.app, nil
+}
+
+// generator holds the complete replay state of one pass over the stream:
+// the shared random source (selector and walkers draw from it in a fixed
+// order), the suspended walkers, and the reference counters that decide
+// when to interleave application bursts and when to stop.
+type generator struct {
+	src        *Source
+	rng        *rand.Rand
+	osWalker   *trace.Walker
+	appWalkers []*trace.Walker
+	classCum   [program.NumSeedClasses]float64
+	osRefs     uint64
+	appRefs    uint64
+	curApp     int
+	burstCount int
+	done       bool
+}
+
+func (s *Source) generator() *generator {
+	rng := rand.New(rand.NewSource(s.opt.Seed))
+	// Cannot fail: NewSource validated the same construction.
+	sel, err := newSelector(s.k, &s.w, rng)
+	if err != nil {
+		panic(fmt.Sprintf("workload: selector construction failed after validation: %v", err))
+	}
+	g := &generator{
+		src:      s,
+		rng:      rng,
+		osWalker: trace.NewWalker(s.k.Prog, trace.DomainOS, rng, sel),
+	}
+	if s.app != nil {
+		for range s.app.Mains {
+			g.appWalkers = append(g.appWalkers, trace.NewWalker(s.app.Prog, trace.DomainApp, rng, nil))
+		}
+	}
+	var total float64
+	for _, v := range s.w.ClassMix {
+		total += v
+	}
+	var cum float64
+	for i, v := range s.w.ClassMix {
+		cum += v / total
+		g.classCum[i] = cum
+	}
+	return g
+}
+
+func (g *generator) sampleClass() program.SeedClass {
+	x := g.rng.Float64()
+	for i, c := range g.classCum {
+		if x < c {
+			return program.SeedClass(i)
+		}
+	}
+	return program.SeedOther
+}
+
+// step appends one segment — an application burst or a complete OS
+// invocation — to events, updating the reference counters. It sets done
+// (appending nothing) once the OS reference target is reached.
+func (g *generator) step(events []trace.Event) ([]trace.Event, error) {
+	w, opt, app := &g.src.w, &g.src.opt, g.src.app
+	if g.osRefs >= opt.OSRefs {
+		g.done = true
+		return events, nil
+	}
+	// Run the application whenever its reference share has fallen below
+	// target; otherwise service an OS invocation.
+	wantApp := false
+	if app != nil {
+		total := g.osRefs + g.appRefs
+		wantApp = total == 0 ||
+			float64(g.appRefs)/float64(total) < 1-w.OSRefShare
+	}
+	start := len(events)
+	if wantApp {
+		n := 1 + g.rng.Intn(2*opt.AppBurstBlocks)
+		events = g.appWalkers[g.curApp].StepN(n, app.Mains[g.curApp], events)
+		g.burstCount++
+		if g.burstCount >= opt.BurstsPerSwitch {
+			g.burstCount = 0
+			g.curApp = (g.curApp + 1) % len(g.appWalkers)
+		}
+	} else {
+		class := g.sampleClass()
+		seed := g.src.k.Prog.Seeds[class]
+		if seed == program.NoRoutine {
+			return events, fmt.Errorf("workload %s: kernel has no seed for class %s", w.Name, class)
+		}
+		events = append(events, trace.BeginEvent(class))
+		events = g.osWalker.WalkInvocation(seed, events)
+		events = append(events, trace.EndEvent())
+	}
+	for _, e := range events[start:] {
+		if !e.IsBlock() {
+			continue
+		}
+		if e.Domain() == trace.DomainOS {
+			g.osRefs += trace.RefsOf(g.src.k.Prog.Block(e.Block()).Size)
+		} else {
+			g.appRefs += trace.RefsOf(app.Prog.Block(e.Block()).Size)
+		}
+	}
+	return events, nil
+}
+
+// genReader adapts a generator to trace.Reader, accumulating whole segments
+// into a reused buffer until the chunk low-water mark is reached.
+type genReader struct {
+	g     *generator
+	chunk int
+	buf   []trace.Event
+	err   error
+}
+
+func (r *genReader) Read() ([]trace.Event, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	r.buf = r.buf[:0]
+	for !r.g.done && len(r.buf) < r.chunk {
+		r.buf, r.err = r.g.step(r.buf)
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	if len(r.buf) == 0 {
+		return nil, nil
+	}
+	return r.buf, nil
+}

@@ -179,6 +179,10 @@ type Options struct {
 	// BurstsPerSwitch is how many bursts run before the engine switches to
 	// the next application in the mix. Default 8.
 	BurstsPerSwitch int
+	// ChunkEvents is the streaming batch size in events for header-only
+	// traces (a low-water mark: batches end at segment boundaries). Zero
+	// means trace.DefaultChunkEvents. Materialised generation ignores it.
+	ChunkEvents int
 }
 
 func (o *Options) fill() {
@@ -260,98 +264,25 @@ func (s *selector) Select(d program.DispatchID, numArcs int) int {
 // The trace alternates application bursts and OS invocations so that the OS
 // share of references converges to the workload's OSRefShare, the invocation
 // class mix follows ClassMix, and handler selection follows DispatchMix.
+//
+// Generate drains the same generator that streaming replay reopens (see
+// stream.go), so the materialised event sequence and the streamed one are
+// identical by construction.
 func Generate(k *kernelgen.Kernel, w Workload, opt Options) (*trace.Trace, *appgen.App, error) {
-	opt.fill()
-	rng := rand.New(rand.NewSource(opt.Seed))
-	sel, err := newSelector(k, &w, rng)
+	s, err := NewSource(k, w, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-
 	t := &trace.Trace{Name: w.Name, OS: k.Prog}
-	osWalker := trace.NewWalker(k.Prog, trace.DomainOS, rng, sel)
-
-	var app *appgen.App
-	var appWalkers []*trace.Walker
-	if w.HasApp() {
-		app = w.BuildApp()
-		t.App = app.Prog
-		for range app.Mains {
-			appWalkers = append(appWalkers, trace.NewWalker(app.Prog, trace.DomainApp, rng, nil))
+	if s.app != nil {
+		t.App = s.app.Prog
+	}
+	g := s.generator()
+	for !g.done {
+		t.Events, err = g.step(t.Events)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
-
-	// Cumulative class distribution.
-	var classCum [program.NumSeedClasses]float64
-	{
-		var total float64
-		for _, v := range w.ClassMix {
-			total += v
-		}
-		if total == 0 {
-			return nil, nil, fmt.Errorf("workload %s: empty class mix", w.Name)
-		}
-		var cum float64
-		for i, v := range w.ClassMix {
-			cum += v / total
-			classCum[i] = cum
-		}
-	}
-	sampleClass := func() program.SeedClass {
-		x := rng.Float64()
-		for i, c := range classCum {
-			if x < c {
-				return program.SeedClass(i)
-			}
-		}
-		return program.SeedOther
-	}
-
-	var osRefs, appRefs uint64
-	countFrom := func(start int) {
-		for _, e := range t.Events[start:] {
-			if !e.IsBlock() {
-				continue
-			}
-			if e.Domain() == trace.DomainOS {
-				osRefs += trace.RefsOf(t.OS.Block(e.Block()).Size)
-			} else {
-				appRefs += trace.RefsOf(t.App.Block(e.Block()).Size)
-			}
-		}
-	}
-
-	curApp, burstCount := 0, 0
-	for osRefs < opt.OSRefs {
-		// Run the application whenever its reference share has fallen below
-		// target; otherwise service an OS invocation.
-		wantApp := false
-		if app != nil {
-			total := osRefs + appRefs
-			wantApp = total == 0 ||
-				float64(appRefs)/float64(total) < 1-w.OSRefShare
-		}
-		start := len(t.Events)
-		if wantApp {
-			n := 1 + rng.Intn(2*opt.AppBurstBlocks)
-			wk := appWalkers[curApp]
-			t.Events = wk.StepN(n, app.Mains[curApp], t.Events)
-			burstCount++
-			if burstCount >= opt.BurstsPerSwitch {
-				burstCount = 0
-				curApp = (curApp + 1) % len(appWalkers)
-			}
-		} else {
-			class := sampleClass()
-			seed := k.Prog.Seeds[class]
-			if seed == program.NoRoutine {
-				return nil, nil, fmt.Errorf("workload %s: kernel has no seed for class %s", w.Name, class)
-			}
-			t.Events = append(t.Events, trace.BeginEvent(class))
-			t.Events = osWalker.WalkInvocation(seed, t.Events)
-			t.Events = append(t.Events, trace.EndEvent())
-		}
-		countFrom(start)
-	}
-	return t, app, nil
+	return t, s.app, nil
 }

@@ -116,6 +116,48 @@ func OLTPWorkload() Workload { return workload.OLTP() }
 // cache size.
 func DefaultPlacementParams(cacheSize int) PlacementParams { return core.DefaultParams(cacheSize) }
 
+// StreamMode selects how a study holds and replays its traces.
+type StreamMode int
+
+const (
+	// StreamAuto (the default) materialises traces when their projected
+	// footprint fits StreamBudgetBytes — keeping the compiled-stream memo's
+	// cross-run wins — and switches to constant-memory streaming above it.
+	StreamAuto StreamMode = iota
+	// StreamOff always materialises.
+	StreamOff
+	// StreamOn always streams: traces are header-only and regenerated
+	// chunk-by-chunk on every replay, bounding memory by the chunk size.
+	StreamOn
+)
+
+// DefaultStreamBudgetBytes is the StreamAuto threshold: the projected
+// per-study trace footprint above which NewStudy switches to streaming.
+const DefaultStreamBudgetBytes = 1 << 30
+
+// ProjectedTraceBytes estimates the materialised replay footprint of a
+// workload set at the given trace options: the packed line stream costs 8
+// bytes per access and accesses are bounded by instruction-word references,
+// so 8 B x total references (OSRefs scaled up by each workload's OS share)
+// approximates the per-line-size compiled stream — the dominant retained
+// object, which the trace events and the decoded event table each roughly
+// match within a small factor.
+func ProjectedTraceBytes(ws []Workload, to TraceOptions) int64 {
+	osRefs := to.OSRefs
+	if osRefs == 0 {
+		osRefs = 2_000_000
+	}
+	var total float64
+	for _, w := range ws {
+		share := w.OSRefShare
+		if share <= 0 || share > 1 {
+			share = 1
+		}
+		total += float64(osRefs) / share
+	}
+	return int64(total * 8)
+}
+
 // StudyOptions configures NewStudy.
 type StudyOptions struct {
 	// Kernel configures kernel synthesis; the zero value selects
@@ -140,6 +182,15 @@ type StudyOptions struct {
 	// working set: an LRU smaller than a repeating replay pattern evicts
 	// every stream just before its reuse.
 	StreamCacheBytes int64
+	// Stream selects the trace pipeline: materialise-then-drive (fast on
+	// repeat grids, memory linear in refs) or chunked generate-as-you-drive
+	// (memory bounded by the chunk size, bit-identical results). StreamAuto
+	// picks by comparing ProjectedTraceBytes against StreamBudgetBytes. The
+	// chunk size is Trace.ChunkEvents.
+	Stream StreamMode
+	// StreamBudgetBytes is the StreamAuto threshold; non-positive selects
+	// DefaultStreamBudgetBytes.
+	StreamBudgetBytes int64
 }
 
 // WorkloadData holds everything captured for one workload.
@@ -180,7 +231,14 @@ type Study struct {
 	// rebuilding the layout on every evaluation).
 	appBase     []*Layout
 	appBaseOnce []sync.Once
+	// streaming records whether the study's traces are header-only (chunked
+	// replay) rather than materialised.
+	streaming bool
 }
+
+// Streaming reports whether the study replays its traces through the
+// chunked constant-memory pipeline rather than from materialised events.
+func (s *Study) Streaming() bool { return s.streaming }
 
 // NewStudy builds the kernel, traces every workload, profiles the traces and
 // computes the averaged kernel profile.
@@ -195,7 +253,13 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 	kernelDone := rec.Span("kernel.synthesis")
 	k := kernelgen.Build(opts.Kernel)
 	kernelDone()
-	st := &Study{Kernel: k, traceOpts: opts.Trace}
+	budget := opts.StreamBudgetBytes
+	if budget <= 0 {
+		budget = DefaultStreamBudgetBytes
+	}
+	streaming := opts.Stream == StreamOn ||
+		(opts.Stream == StreamAuto && ProjectedTraceBytes(opts.Workloads, opts.Trace) > budget)
+	st := &Study{Kernel: k, traceOpts: opts.Trace, streaming: streaming}
 
 	var osProfiles []*Profile
 	for i, w := range opts.Workloads {
@@ -204,7 +268,11 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 			to.Seed = int64(7001 + 13*i)
 		}
 		traceDone := rec.Span("trace." + w.Name)
-		t, app, err := workload.Generate(k, w, to)
+		generate := workload.Generate
+		if streaming {
+			generate = workload.GenerateStreaming
+		}
+		t, app, err := generate(k, w, to)
 		if err != nil {
 			traceDone()
 			return nil, fmt.Errorf("oslayout: generating %s: %w", w.Name, err)
