@@ -219,6 +219,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		timings    = fs.Bool("time", false, "print study build and grid wall-clock time")
 		jsonDir    = fs.String("json", "", "directory to additionally write the result as compare.json")
 		detail     = fs.Bool("detail", false, "print per-strategy conflict attribution next to the miss rates")
+		part       = fs.String("partition", "", "way-partition policy applied to every cell, e.g. 'static', 'interval,every=4,grain=1', 'missdriven,os=5,app=3' (see 'oslayout run fig18x' for the scenario sweep)")
 		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
 		par        = fs.Int("par", runtime.GOMAXPROCS(0), "parallelism bound for grid fan-out and the replay drive pool (1 = fully sequential; results identical at any setting)")
 	)
@@ -279,7 +280,8 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "[study built in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
 	t0 := time.Now()
-	c, err := env.RunCompareDetail(stratList, sizeList, *line, *assoc, *detail)
+	c, err := env.RunCompareOpts(stratList, sizeList, *line, *assoc,
+		expt.CompareOptions{Detail: *detail, Partition: *part})
 	if err != nil {
 		return err
 	}

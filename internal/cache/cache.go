@@ -43,6 +43,12 @@ type Config struct {
 	Assoc int
 	// Policy is the replacement policy; the zero value is LRU.
 	Policy Policy
+	// Part, when non-zero, way-partitions the cache between per-domain
+	// regions (see Partition). Whether a cache is partitioned is fixed at
+	// construction — the split itself stays mutable via SetPartition — and
+	// the zero value leaves the cache on the classic unpartitioned access
+	// paths, untouched.
+	Part Partition
 }
 
 // String formats the organisation like "8KB/32B/direct-mapped".
@@ -54,6 +60,9 @@ func (c Config) String() string {
 	s := fmt.Sprintf("%dKB/%dB/%s", c.Size>>10, c.Line, way)
 	if c.Policy != LRU {
 		s += "/" + c.Policy.String()
+	}
+	if c.Part.Enabled() {
+		s += "/" + c.Part.String()
 	}
 	return s
 }
@@ -67,6 +76,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cache: line %d not a power of two", c.Line)
 	case c.Size%(c.Line*c.Assoc) != 0:
 		return fmt.Errorf("cache: size %d not divisible by line*assoc %d", c.Size, c.Line*c.Assoc)
+	}
+	if c.Part.Enabled() {
+		return c.Part.Check(c.Assoc)
 	}
 	return nil
 }
@@ -198,6 +210,17 @@ type Cache struct {
 	// useMask, when utilization tracking is enabled, holds one bit per
 	// word of each resident line, parallel to ways.
 	useMask []uint64
+	// Way-partitioning state (see partition.go): the active split, each
+	// region's contiguous way sub-range, the owning region of each way
+	// offset, the reserved line set, and repartitioning counters. All zero
+	// on unpartitioned caches, which never read them.
+	part     Partition
+	regOff   [NumRegions]int
+	regLen   [NumRegions]int
+	regOfWay []Region
+	resvLine []bool
+	repart   RepartStats
+	utilReg  [NumRegions]UtilStats
 	// Stats accumulates access outcomes.
 	Stats Stats
 	// Util accumulates line-utilization statistics when enabled.
@@ -244,6 +267,13 @@ func New(cfg Config) (*Cache, error) {
 	}
 	c.hiBase = uint64(trace.AppBase) >> c.lineShift
 	switch {
+	case cfg.Part.Enabled():
+		c.installPartition(cfg.Part)
+		if c.pow2 {
+			c.access = c.accessPartPow2
+		} else {
+			c.access = c.accessPartMod
+		}
 	case cfg.Assoc == 1 && c.pow2:
 		c.access = c.accessDMPow2
 	case cfg.Assoc == 1:
@@ -286,7 +316,8 @@ func (c *Cache) lineWords() int { return c.cfg.Line / trace.WordSize }
 
 // MarkWords records that words [from, to] (inclusive, line-relative) of the
 // given line were fetched. The line must be resident at the MRU position of
-// its set — i.e. call this immediately after AccessLine for the same line.
+// its set — under a partition, at the MRU position of whichever region holds
+// it — i.e. call this immediately after AccessLine for the same line.
 func (c *Cache) MarkWords(line uint64, from, to int) {
 	if c.useMask == nil {
 		return
@@ -298,7 +329,22 @@ func (c *Cache) MarkWords(line uint64, from, to int) {
 		set = int(line % c.numSets)
 	}
 	base := set * c.assoc
-	if !c.valid[base] || c.ways[base] != line {
+	if c.part.Enabled() {
+		found := -1
+		for r := Region(0); r < NumRegions; r++ {
+			if c.regLen[r] == 0 {
+				continue
+			}
+			if s := base + c.regOff[r]; c.valid[s] && c.ways[s] == line {
+				found = s
+				break
+			}
+		}
+		if found < 0 {
+			return
+		}
+		base = found
+	} else if !c.valid[base] || c.ways[base] != line {
 		return
 	}
 	if to >= maskWords {
@@ -584,11 +630,17 @@ func (c *Cache) Flush() {
 	}
 }
 
-// Reset empties the cache and clears history and statistics.
+// Reset empties the cache and clears history and statistics; a partitioned
+// cache additionally returns to its construction-time split.
 func (c *Cache) Reset() {
 	c.Flush()
 	clear(c.histLo)
 	clear(c.histHi)
 	c.histOv = nil
 	c.Stats = Stats{}
+	if c.part.Enabled() {
+		c.installPartition(c.cfg.Part)
+		c.repart = RepartStats{}
+		c.utilReg = [NumRegions]UtilStats{}
+	}
 }

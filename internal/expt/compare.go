@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 
+	"oslayout"
 	"oslayout/internal/cache"
 	"oslayout/internal/layout"
 	"oslayout/internal/obs"
+	"oslayout/internal/partition"
 	"oslayout/internal/strategy"
 	"oslayout/internal/trace"
 )
@@ -22,11 +24,23 @@ type Compare struct {
 	Line       int
 	Assoc      int
 	Workloads  []string
+	// Partition is the way-partition spec every cell ran under ("" when
+	// unpartitioned).
+	Partition string
 	// Rates[s][w][k]: total miss rate at size s, workload w, strategy k.
 	Rates [][][]float64
 	// Attr[s][w][k] is the conflict attribution for the same cell; nil
 	// unless the comparison ran in detail mode.
 	Attr [][][]*Attribution
+	// PartEvents[s][w][k] and PartFinal[s][w][k] record each cell's
+	// repartition count and final way split; nil unless a partition was
+	// requested.
+	PartEvents [][][]uint64
+	PartFinal  [][][]string
+	// PartSplit is PartFinal in numeric form for programmatic consumers
+	// (the serve daemon's per-region gauges); the strings above already
+	// carry it for humans and JSON.
+	PartSplit [][][]cache.Partition `json:"-"`
 }
 
 // Attribution decomposes one grid cell's misses: the cold/self/cross split,
@@ -56,11 +70,43 @@ func (e *Env) RunCompare(strategies []string, sizes []int, line, assoc int) (*Co
 // additionally reports its cold/self/cross decomposition, set-conflict
 // concentration and worst conflicting routine pair.
 func (e *Env) RunCompareDetail(strategies []string, sizes []int, line, assoc int, detail bool) (*Compare, error) {
+	return e.RunCompareOpts(strategies, sizes, line, assoc, CompareOptions{Detail: detail})
+}
+
+// CompareOptions tunes RunCompareOpts beyond the grid itself.
+type CompareOptions struct {
+	// Detail attaches conflict attribution to every cell.
+	Detail bool
+	// Partition, when non-empty, is a partition.Spec applied to every
+	// cell's cache (e.g. "static", "interval,every=4,grain=1"); dynamic
+	// policies run with a repartitioning controller per cell. The reserved
+	// policy is rejected — it needs a SelfConfFree block set, which the
+	// strategy grid has no single source for (use fig18x instead).
+	Partition string
+}
+
+// RunCompareOpts is the full-option comparison engine.
+func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, opt CompareOptions) (*Compare, error) {
 	if len(strategies) == 0 {
 		return nil, fmt.Errorf("expt: compare needs at least one strategy")
 	}
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("expt: compare needs at least one cache size")
+	}
+	detail := opt.Detail
+	var spec partition.Spec
+	if opt.Partition != "" {
+		sp, err := partition.Parse(opt.Partition)
+		if err != nil {
+			return nil, err
+		}
+		if sp.Policy == "reserved" {
+			return nil, fmt.Errorf("expt: the reserved policy needs a SelfConfFree block set and is not available on the compare grid (run fig18x)")
+		}
+		if sp, err = sp.WithDefaults(assoc); err != nil {
+			return nil, err
+		}
+		spec = sp
 	}
 	c := &Compare{
 		Strategies: strategies,
@@ -68,6 +114,9 @@ func (e *Env) RunCompareDetail(strategies []string, sizes []int, line, assoc int
 		Line:       line,
 		Assoc:      assoc,
 		Workloads:  e.Workloads(),
+	}
+	if opt.Partition != "" {
+		c.Partition = spec.String()
 	}
 
 	// layoutsBySize[s][k] is strategy k's layout for size s; for
@@ -110,6 +159,21 @@ func (e *Env) RunCompareDetail(strategies []string, sizes []int, line, assoc int
 			}
 		}
 	}
+	if c.Partition != "" {
+		c.PartEvents = make([][][]uint64, len(sizes))
+		c.PartFinal = make([][][]string, len(sizes))
+		c.PartSplit = make([][][]cache.Partition, len(sizes))
+		for si := range sizes {
+			c.PartEvents[si] = make([][]uint64, nw)
+			c.PartFinal[si] = make([][]string, nw)
+			c.PartSplit[si] = make([][]cache.Partition, nw)
+			for wi := 0; wi < nw; wi++ {
+				c.PartEvents[si][wi] = make([]uint64, len(strategies))
+				c.PartFinal[si][wi] = make([]string, len(strategies))
+				c.PartSplit[si][wi] = make([]cache.Partition, len(strategies))
+			}
+		}
+	}
 
 	// One task per (workload, strategy): size-independent strategies ride
 	// all sizes on one trace replay; size-dependent ones get one task per
@@ -139,20 +203,42 @@ func (e *Env) RunCompareDetail(strategies []string, sizes []int, line, assoc int
 		cfgs := make([]cache.Config, len(tk.sis))
 		for i, si := range tk.sis {
 			cfgs[i] = cache.Config{Size: sizes[si], Line: line, Assoc: assoc}
+			if c.Partition != "" {
+				cfgs[i].Part = spec.Initial()
+			}
 		}
 		osL := layoutsBySize[tk.sis[0]][tk.k]
 		var observers []obs.Observer
 		var stats []*obs.SimStats
-		if detail {
+		var setups []oslayout.CacheSetup
+		var ctrls []*partition.Controller
+		if detail || spec.Dynamic() {
 			observers = make([]obs.Observer, len(cfgs))
 			stats = make([]*obs.SimStats, len(cfgs))
+		}
+		if c.Partition != "" {
+			// A controller per cell: it carries the SimStats observer
+			// (shared with detail mode) and, for dynamic policies, the
+			// repartitioning hook.
+			setups = make([]oslayout.CacheSetup, len(cfgs))
+			ctrls = make([]*partition.Controller, len(cfgs))
+			for i := range cfgs {
+				k := partition.NewController(spec, 0, nil)
+				ctrls[i] = k
+				setups[i] = k.Bind
+				if observers != nil {
+					observers[i] = k
+					stats[i] = k.SimStats
+				}
+			}
+		} else if detail {
 			for i := range cfgs {
 				s := obs.NewSimStats(0)
 				observers[i] = s
 				stats[i] = s
 			}
 		}
-		ress, err := e.EvalManyObserved(tk.wi, osL, nil, cfgs, observers)
+		ress, err := e.EvalManyConfigured(tk.wi, osL, nil, cfgs, observers, setups)
 		if err != nil {
 			return err
 		}
@@ -164,6 +250,14 @@ func (e *Env) RunCompareDetail(strategies []string, sizes []int, line, assoc int
 			c.Rates[si][tk.wi][tk.k] = ress[i].Stats.MissRate()
 			if detail {
 				c.Attr[si][tk.wi][tk.k] = attribute(&ress[i].Stats, stats[i], resolver, line)
+			}
+			if ctrls != nil {
+				if err := ctrls[i].Err(); err != nil {
+					return err
+				}
+				c.PartEvents[si][tk.wi][tk.k] = ctrls[i].Events().Events
+				c.PartFinal[si][tk.wi][tk.k] = ctrls[i].Final().String()
+				c.PartSplit[si][tk.wi][tk.k] = ctrls[i].Final()
 			}
 		}
 		return nil
@@ -204,7 +298,11 @@ func lineName(r *obs.LineResolver, lineSize int, line uint64) string {
 // Render formats the grid as one table per cache size.
 func (c *Compare) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Strategy comparison: total miss rates (%%), %dB lines, %d-way\n", c.Line, c.Assoc)
+	fmt.Fprintf(&sb, "Strategy comparison: total miss rates (%%), %dB lines, %d-way", c.Line, c.Assoc)
+	if c.Partition != "" {
+		fmt.Fprintf(&sb, ", partition %s", c.Partition)
+	}
+	sb.WriteString("\n")
 	fmt.Fprintf(&sb, "  %-7s %-12s", "size", "workload")
 	for _, s := range c.Strategies {
 		fmt.Fprintf(&sb, " %8s", s)
@@ -243,6 +341,28 @@ func (c *Compare) Render() string {
 						fmt.Fprintf(&sb, "  worst %s", a.TopPair)
 					}
 					sb.WriteString("\n")
+				}
+			}
+		}
+	}
+	if c.PartEvents != nil {
+		shown := false
+		for si, size := range c.Sizes {
+			label := fmt.Sprintf("%dKB", size>>10)
+			if size%(1<<10) != 0 {
+				label = fmt.Sprintf("%dB", size)
+			}
+			for wi, w := range c.Workloads {
+				for k, s := range c.Strategies {
+					if c.PartEvents[si][wi][k] == 0 {
+						continue
+					}
+					if !shown {
+						sb.WriteString("\nRepartition dynamics\n")
+						shown = true
+					}
+					fmt.Fprintf(&sb, "  %-7s %-12s %-8s %2d moves, final %s\n",
+						label, w, s, c.PartEvents[si][wi][k], c.PartFinal[si][wi][k])
 				}
 			}
 		}

@@ -280,8 +280,15 @@ func (e *Env) EvalMany(i int, osL, appL *layout.Layout, cfgs []cache.Config) ([]
 
 // EvalManyObserved is EvalMany with optional per-configuration observers.
 func (e *Env) EvalManyObserved(i int, osL, appL *layout.Layout, cfgs []cache.Config, observers []obs.Observer) ([]*simulate.Result, error) {
+	return e.EvalManyConfigured(i, osL, appL, cfgs, observers, nil)
+}
+
+// EvalManyConfigured is EvalManyObserved with optional per-configuration
+// cache setups — the entry point for way-partitioned runs, whose
+// controllers bind to their cache before the replay starts.
+func (e *Env) EvalManyConfigured(i int, osL, appL *layout.Layout, cfgs []cache.Config, observers []obs.Observer, setups []oslayout.CacheSetup) ([]*simulate.Result, error) {
 	start := time.Now()
-	rs, err := e.St.EvaluateManyObserved(i, osL, appL, cfgs, observers)
+	rs, err := e.St.EvaluateManyConfigured(i, osL, appL, cfgs, observers, setups)
 	if err == nil {
 		e.recordReplay(i, start)
 	}

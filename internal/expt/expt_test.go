@@ -31,7 +31,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig18x",
 		// extensions
 		"xprofile", "baselines", "ablation", "cpus", "policy",
 		"overhead", "lineutil", "noise", "fragments", "sizemismatch",
@@ -545,6 +545,116 @@ func TestFigure18Alternatives(t *testing.T) {
 	}
 }
 
+// TestFigure18XPolicies checks the reconfigurable-cache sweep: every policy
+// column present, the static row reproducing the Sep-style penalty (worse
+// than shared under these balanced workloads), and at least one dynamic row
+// that repartitions, records its windowed-feedback trajectory, and beats
+// the frozen static split somewhere on the grid.
+func TestFigure18XPolicies(t *testing.T) {
+	e := testEnv(t)
+	r, err := Run(e, "fig18x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.(*Figure18X)
+	wantLabels := []string{"shared", "static", "reserved",
+		"int-e2g1", "int-e4g1", "int-e4g2", "md-e4g1", "md-e4g2"}
+	if len(f.Labels) != len(wantLabels) {
+		t.Fatalf("labels = %v, want %v", f.Labels, wantLabels)
+	}
+	idx := map[string]int{}
+	for i, l := range f.Labels {
+		if l != wantLabels[i] {
+			t.Errorf("label[%d] = %q, want %q", i, l, wantLabels[i])
+		}
+		idx[l] = i
+	}
+	dynamicBeatsStatic := false
+	for wi, w := range f.Workloads {
+		if got := f.Norm[wi][idx["shared"]]; got != 1 {
+			t.Errorf("%s: shared row normalises to %.3f, want 1", w, got)
+		}
+		for _, l := range []string{"shared", "static", "reserved"} {
+			if f.Events[wi][idx[l]] != 0 {
+				t.Errorf("%s: %s row repartitioned %d times", w, l, f.Events[wi][idx[l]])
+			}
+		}
+		for _, l := range wantLabels[3:] {
+			r := idx[l]
+			if f.Events[wi][r] > 0 {
+				if f.Traj[wi][r] == "" {
+					t.Errorf("%s/%s: repartitioned but trajectory empty", w, l)
+				}
+				if f.Final[wi][r] == "" {
+					t.Errorf("%s/%s: no final split recorded", w, l)
+				}
+			}
+			if f.Norm[wi][r] < f.Norm[wi][idx["static"]] {
+				dynamicBeatsStatic = true
+			}
+		}
+	}
+	if !dynamicBeatsStatic {
+		t.Error("no dynamic policy beats the static split on any workload")
+	}
+	out := f.Render()
+	for _, l := range wantLabels {
+		if !strings.Contains(out, l) {
+			t.Errorf("rendering missing policy column %q", l)
+		}
+	}
+	if !strings.Contains(out, "Repartition dynamics") {
+		t.Error("rendering missing the repartition dynamics section")
+	}
+}
+
+// TestComparePartitioned runs a small compare grid under a dynamic
+// partition and checks the controller state reaches the result (and that
+// the reserved policy, which needs a SelfConfFree set, is refused).
+func TestComparePartitioned(t *testing.T) {
+	e := testEnv(t)
+	c, err := e.RunCompareOpts([]string{"base", "opts"}, []int{8 << 10}, 32, 8,
+		CompareOptions{Partition: "interval,every=4,grain=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Partition != "interval,os=4,app=4,every=4,grain=1" {
+		t.Errorf("Partition = %q", c.Partition)
+	}
+	if c.PartEvents == nil || c.PartFinal == nil {
+		t.Fatal("partition dynamics not recorded")
+	}
+	moved := false
+	for wi := range c.Workloads {
+		for k := range c.Strategies {
+			if c.PartEvents[0][wi][k] > 0 {
+				moved = true
+				if c.PartFinal[0][wi][k] == "" {
+					t.Errorf("cell (%d,%d) moved but has no final split", wi, k)
+				}
+			}
+		}
+	}
+	if !moved {
+		t.Error("no grid cell ever repartitioned")
+	}
+	out := c.Render()
+	if !strings.Contains(out, "partition interval,os=4,app=4,every=4,grain=1") {
+		t.Errorf("header missing partition spec:\n%s", out)
+	}
+	if moved && !strings.Contains(out, "Repartition dynamics") {
+		t.Error("rendering missing the repartition dynamics section")
+	}
+	if _, err := e.RunCompareOpts([]string{"base"}, []int{8 << 10}, 32, 8,
+		CompareOptions{Partition: "reserved"}); err == nil {
+		t.Error("reserved policy accepted on the compare grid")
+	}
+	if _, err := e.RunCompareOpts([]string{"base"}, []int{8 << 10}, 32, 8,
+		CompareOptions{Partition: "bogus"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
 func TestAllExperimentsRender(t *testing.T) {
 	e := testEnv(t)
 	// Each experiment's rendering must carry its identifying content.
@@ -568,6 +678,7 @@ func TestAllExperimentsRender(t *testing.T) {
 		"fig16":        "SelfConfFree area",
 		"fig17":        "associativity",
 		"fig18":        "alternative setups",
+		"fig18x":       "way-partition policies",
 		"xprofile":     "cross-profile",
 		"baselines":    "baseline families",
 		"ablation":     "ablations",

@@ -43,6 +43,7 @@ var registry = map[string]entry{
 	"fig16":  {run: func(e *Env) (Renderer, error) { return e.RunFigure16() }},
 	"fig17":  {run: func(e *Env) (Renderer, error) { return e.RunFigure17() }},
 	"fig18":  {run: func(e *Env) (Renderer, error) { return e.RunFigure18() }},
+	"fig18x": {run: func(e *Env) (Renderer, error) { return e.RunFigure18X() }},
 
 	// Extensions beyond the paper (see EXPERIMENTS.md):
 	"xprofile":     {run: func(e *Env) (Renderer, error) { return e.RunCrossProfile() }},

@@ -8,6 +8,7 @@ import (
 	"oslayout"
 	"oslayout/internal/expt"
 	"oslayout/internal/obs"
+	"oslayout/internal/partition"
 	"oslayout/internal/strategy"
 )
 
@@ -63,6 +64,12 @@ type CompareSpec struct {
 	Line   int  `json:"line,omitempty"`
 	Assoc  int  `json:"assoc,omitempty"`
 	Detail bool `json:"detail,omitempty"`
+	// Partition applies a way-partition policy to every grid cell, in the
+	// CLI's -partition syntax ("static", "interval,every=4,grain=1", ...).
+	// Malformed specs, splits the associativity cannot hold, and the
+	// reserved policy (which needs a SelfConfFree set; run fig18x instead)
+	// are rejected at submission.
+	Partition string `json:"partition,omitempty"`
 }
 
 // validate resolves defaults and rejects malformed specs before the job is
@@ -101,6 +108,18 @@ func (s *JobSpec) validate(budget int64) error {
 		}
 		if c.Assoc == 0 {
 			c.Assoc = 1
+		}
+		if c.Partition != "" {
+			sp, err := partition.Parse(c.Partition)
+			if err != nil {
+				return err
+			}
+			if sp.Policy == "reserved" {
+				return fmt.Errorf("the reserved policy needs a SelfConfFree block set and is not available on the compare grid (run the fig18x experiment)")
+			}
+			if _, err := sp.WithDefaults(c.Assoc); err != nil {
+				return err
+			}
 		}
 	}
 	if s.Refs == 0 {

@@ -85,8 +85,10 @@ type Server struct {
 	streamHits    *obs.Counter
 	streamMisses  *obs.Counter
 	windowFlushes *obs.Counter
+	repartitions  *obs.Counter
 	phaseSeconds  func(phase string) *obs.Histogram
 	missRateGauge func(strategy, workload, size string) *obs.Gauge
+	partWaysGauge func(region, strategy, workload, size string) *obs.Gauge
 }
 
 // New builds a Server and starts its worker pool. Call Close to drain.
@@ -126,6 +128,13 @@ func New(cfg Config) *Server {
 		return reg.Gauge("oslayout_strategy_miss_rate",
 			"Total miss rate of a strategy's layout, by workload and cache size, from the latest compare job.",
 			"strategy", strategy, "workload", workload, "size_bytes", size)
+	}
+	s.repartitions = reg.Counter("oslayout_repartitions_total",
+		"Way-repartition events applied by dynamic partition controllers.")
+	s.partWaysGauge = func(region, strategy, workload, size string) *obs.Gauge {
+		return reg.Gauge("oslayout_partition_ways",
+			"Final way split of a partitioned compare cell, by cache region, from the latest compare job.",
+			"region", region, "strategy", strategy, "workload", workload, "size_bytes", size)
 	}
 	reg.GaugeFunc("oslayout_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -246,7 +255,8 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		grid, err := env.RunCompareDetail(c.Strategies, sizes, c.Line, c.Assoc, c.Detail)
+		grid, err := env.RunCompareOpts(c.Strategies, sizes, c.Line, c.Assoc,
+			expt.CompareOptions{Detail: c.Detail, Partition: c.Partition})
 		if err != nil {
 			return nil, err
 		}
@@ -257,6 +267,13 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 			for wi, w := range grid.Workloads {
 				for k, name := range grid.Strategies {
 					s.missRateGauge(name, w, sizeLabel).Set(grid.Rates[si][wi][k])
+					if grid.PartSplit != nil {
+						sp := grid.PartSplit[si][wi][k]
+						s.partWaysGauge("os", name, w, sizeLabel).Set(float64(sp.OSWays))
+						s.partWaysGauge("app", name, w, sizeLabel).Set(float64(sp.AppWays))
+						s.partWaysGauge("resv", name, w, sizeLabel).Set(float64(sp.ResvWays))
+						s.repartitions.Add(grid.PartEvents[si][wi][k])
+					}
 				}
 			}
 		}

@@ -296,6 +296,57 @@ func TestCompareJobSetsMissRateGauges(t *testing.T) {
 	}
 }
 
+// TestPartitionedCompareJob runs a compare grid under a dynamic way
+// partition and checks the daemon's partition observability: per-region
+// final-split gauges and the repartition-event counter.
+func TestPartitionedCompareJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := submit(t, ts, fmt.Sprintf(
+		`{"compare":{"strategies":["base"],"sizes":["8k"],"assoc":8,"partition":"interval,every=4,grain=1"},"refs":%d}`, testRefs))
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("partitioned compare ended %s: %s", final.State, final.Error)
+	}
+	res, ok := final.Results["compare"]
+	if !ok {
+		t.Fatalf("no compare result in %+v", final.Results)
+	}
+	if !strings.Contains(res.Rendered, "partition interval,os=4,app=4,every=4,grain=1") {
+		t.Errorf("rendered grid missing partition header:\n%s", res.Rendered)
+	}
+	fams := scrape(t, ts)
+	f, ok := fams["oslayout_partition_ways"]
+	if !ok {
+		t.Fatal("partition ways gauge missing")
+	}
+	var osWays, appWays float64
+	for sample, v := range f.samples {
+		if !strings.Contains(sample, `strategy="base"`) || !strings.Contains(sample, `size_bytes="8192"`) {
+			continue
+		}
+		switch {
+		case strings.Contains(sample, `region="os"`):
+			osWays += v
+		case strings.Contains(sample, `region="app"`):
+			appWays += v
+		}
+	}
+	if osWays == 0 || appWays == 0 {
+		t.Fatalf("no per-region way gauges for base@8192: %v", f.samples)
+	}
+	rc, ok := fams["oslayout_repartitions_total"]
+	if !ok {
+		t.Fatal("repartition counter missing")
+	}
+	var repartitions float64
+	for _, v := range rc.samples {
+		repartitions += v
+	}
+	if repartitions == 0 {
+		t.Error("dynamic compare job recorded no repartition events")
+	}
+}
+
 // TestSSEProgressWindows attaches to a job's event stream and checks live
 // progress: at least two miss-rate windows arrive, and for any one
 // (workload, config) replay the window indexes advance strictly
@@ -388,6 +439,13 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 		`{"compare":{"strategies":["base"]}}`,
 		`{"unknown_field":1}`,
 		`not json`,
+		// Partition specs are checked at admission: unknown policy, the
+		// reserved policy (needs SelfConfFree; compare has none), a split
+		// the default direct-mapped cache cannot hold, an over-commit.
+		`{"compare":{"strategies":["base"],"sizes":["8k"],"assoc":8,"partition":"bogus"}}`,
+		`{"compare":{"strategies":["base"],"sizes":["8k"],"assoc":8,"partition":"reserved"}}`,
+		`{"compare":{"strategies":["base"],"sizes":["8k"],"partition":"static"}}`,
+		`{"compare":{"strategies":["base"],"sizes":["8k"],"assoc":4,"partition":"static,os=9"}}`,
 	} {
 		resp, err := http.Post(ts.URL+"/api/jobs", "application/json", strings.NewReader(spec))
 		if err != nil {

@@ -88,8 +88,9 @@ func TestStreamedObservedMatchesMaterialised(t *testing.T) {
 }
 
 // TestStreamedSingleConfigPaths checks the single-cache replay entry points
-// (Run, RunSplit, RunReserved, RunUtil) accept header-only traces and match
-// their materialised results exactly.
+// (Run, RunUtil) accept header-only traces and match their materialised
+// results exactly. (The paper's Sep/Resv setups are now way partitions of
+// one cache, exercised by partition_test.go.)
 func TestStreamedSingleConfigPaths(t *testing.T) {
 	tr, osL, appL := mixedTrace(12_000, 11)
 	view := tr.ChunkView(1 << 10)
@@ -105,20 +106,6 @@ func TestStreamedSingleConfigPaths(t *testing.T) {
 	}
 	if !reflect.DeepEqual(wantRun, gotRun) {
 		t.Errorf("Run: streamed differs from materialised")
-	}
-
-	osCfg := cache.Config{Size: 512, Line: 32, Assoc: 1}
-	appCfg := cache.Config{Size: 512, Line: 32, Assoc: 1}
-	wantSplit, err := RunSplit(tr, osL, appL, osCfg, appCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotSplit, err := RunSplit(view, osL, appL, osCfg, appCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(wantSplit, gotSplit) {
-		t.Errorf("RunSplit: streamed differs from materialised")
 	}
 
 	wantUtil, wantU, err := RunUtil(tr, osL, appL, cfg)

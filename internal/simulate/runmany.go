@@ -21,12 +21,23 @@ type runner struct {
 	obs    obs.Observer
 }
 
+// CacheSetup configures one freshly built cache before its replay starts —
+// the hook way-partition controllers use to install reserved line sets and
+// bind repartitioning policies (internal/partition).
+type CacheSetup func(*cache.Cache) error
+
 // Options tunes a RunManyOpt replay. The zero value reproduces RunMany
-// exactly: no observers, direct compilation, sequential drive.
+// exactly: no observers, no setups, direct compilation, sequential drive.
 type Options struct {
 	// Observers, when non-nil, must match the configs in length;
 	// Observers[i] (which may be nil) watches config i's replay.
 	Observers []obs.Observer
+	// Setups, when non-nil, must match the configs in length; Setups[i]
+	// (which may be nil) runs on config i's cache after construction and
+	// before any access. A partitioned cache is always one drive unit of
+	// its own (it is never direct-mapped), so mid-replay repartitioning
+	// installed here stays bit-identical at any worker count.
+	Setups []CacheSetup
 	// Streams supplies compiled line streams; nil compiles directly,
 	// sharing one trace decode across the call's line sizes. A memoizing
 	// source (internal/streamcache) additionally shares compilations across
@@ -87,6 +98,9 @@ func RunManyOpt(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, o
 	if observers != nil && len(observers) != len(cfgs) {
 		return nil, fmt.Errorf("simulate: %d observers for %d configs", len(observers), len(cfgs))
 	}
+	if opt.Setups != nil && len(opt.Setups) != len(cfgs) {
+		return nil, fmt.Errorf("simulate: %d setups for %d configs", len(opt.Setups), len(cfgs))
+	}
 	if err := checkLayouts(t, osL, appL); err != nil {
 		return nil, err
 	}
@@ -106,6 +120,11 @@ func RunManyOpt(t *trace.Trace, osL, appL *layout.Layout, cfgs []cache.Config, o
 		caches[i] = c
 		results[i] = newResult(t, osL)
 		results[i].Config = cfg
+		if opt.Setups != nil && opt.Setups[i] != nil {
+			if err := opt.Setups[i](c); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if len(cfgs) == 0 {
 		return results, nil

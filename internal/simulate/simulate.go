@@ -42,8 +42,7 @@ func Run(t *trace.Trace, osL, appL *layout.Layout, cfg cache.Config) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	route := func(trace.Domain, uint64) *cache.Cache { return c }
-	res, err := run(t, osL, appL, route, nil, false)
+	res, err := run(t, osL, appL, c, false)
 	if err != nil {
 		return nil, err
 	}
@@ -64,8 +63,7 @@ func RunUtil(t *trace.Trace, osL, appL *layout.Layout, cfg cache.Config) (*Resul
 	if err := c.EnableUtilization(); err != nil {
 		return nil, cache.UtilStats{}, err
 	}
-	route := func(trace.Domain, uint64) *cache.Cache { return c }
-	res, err := run(t, osL, appL, route, nil, true)
+	res, err := run(t, osL, appL, c, true)
 	if err != nil {
 		return nil, cache.UtilStats{}, err
 	}
@@ -74,76 +72,12 @@ func RunUtil(t *trace.Trace, osL, appL *layout.Layout, cfg cache.Config) (*Resul
 	return res, c.Util, nil
 }
 
-// RunSplit replays the trace through a partitioned cache: OS fetches go to
-// one half, application fetches to the other (the paper's "Sep" setup,
-// Section 5.5).
-func RunSplit(t *trace.Trace, osL, appL *layout.Layout, osCfg, appCfg cache.Config) (*Result, error) {
-	osc, err := cache.New(osCfg)
-	if err != nil {
-		return nil, err
-	}
-	apc, err := cache.New(appCfg)
-	if err != nil {
-		return nil, err
-	}
-	route := func(d trace.Domain, _ uint64) *cache.Cache {
-		if d == trace.DomainOS {
-			return osc
-		}
-		return apc
-	}
-	res, err := run(t, osL, appL, route, nil, false)
-	if err != nil {
-		return nil, err
-	}
-	res.Config = cache.Config{Size: osCfg.Size + appCfg.Size, Line: osCfg.Line, Assoc: osCfg.Assoc}
-	res.Stats = osc.Stats
-	res.Stats.Add(&apc.Stats)
-	return res, nil
-}
-
-// RunReserved replays the trace with a small cache dedicated to a reserved
-// set of OS blocks (the paper's "Resv" setup: a ~1 KB cache holding the most
-// important sequences) and a main cache for everything else.
-func RunReserved(t *trace.Trace, osL, appL *layout.Layout, reserved map[program.BlockID]bool, smallCfg, mainCfg cache.Config) (*Result, error) {
-	small, err := cache.New(smallCfg)
-	if err != nil {
-		return nil, err
-	}
-	main, err := cache.New(mainCfg)
-	if err != nil {
-		return nil, err
-	}
-	isReserved := make([]bool, t.OS.NumBlocks())
-	for b := range reserved {
-		isReserved[b] = true
-	}
-	var curBlockReserved bool
-	route := func(d trace.Domain, _ uint64) *cache.Cache {
-		if d == trace.DomainOS && curBlockReserved {
-			return small
-		}
-		return main
-	}
-	pre := func(d trace.Domain, b program.BlockID) {
-		curBlockReserved = d == trace.DomainOS && isReserved[b]
-	}
-	res, err := run(t, osL, appL, route, pre, false)
-	if err != nil {
-		return nil, err
-	}
-	res.Config = cache.Config{Size: smallCfg.Size + mainCfg.Size, Line: mainCfg.Line, Assoc: mainCfg.Assoc}
-	res.Stats = small.Stats
-	res.Stats.Add(&main.Stats)
-	return res, nil
-}
-
-// run is the common replay loop. route picks the cache for each line access;
-// pre (optional) observes each block before its lines are accessed; util
-// marks the fetched words for line-utilization tracking.
-func run(t *trace.Trace, osL, appL *layout.Layout,
-	route func(trace.Domain, uint64) *cache.Cache,
-	pre func(trace.Domain, program.BlockID), util bool) (*Result, error) {
+// run is the common replay loop over a single cache; util marks the fetched
+// words for line-utilization tracking. The paper's Sep and Resv hardware
+// alternatives, formerly separate two-cache replay loops here, are now
+// expressed as way partitions of one cache (cache.Partition) and replayed by
+// the compiled-stream engine.
+func run(t *trace.Trace, osL, appL *layout.Layout, c *cache.Cache, util bool) (*Result, error) {
 
 	if err := checkLayouts(t, osL, appL); err != nil {
 		return nil, err
@@ -174,17 +108,12 @@ func run(t *trace.Trace, osL, appL *layout.Layout,
 			} else {
 				l, p = appL, t.App
 			}
-			if pre != nil {
-				pre(d, b)
-			}
 			addr := l.Addr[b]
 			size := p.Block(b).Size
-			first := route(d, addr)
-			first.Stats.Refs[d] += trace.RefsOf(size)
-			startLine := first.LineOf(addr)
-			endLine := first.LineOf(addr + uint64(size) - 1)
+			c.Stats.Refs[d] += trace.RefsOf(size)
+			startLine := c.LineOf(addr)
+			endLine := c.LineOf(addr + uint64(size) - 1)
 			for line := startLine; line <= endLine; line++ {
-				c := route(d, line)
 				switch c.AccessLine(line, d) {
 				case cache.SelfMiss:
 					res.BlockMisses[d][b]++

@@ -5,7 +5,6 @@ import (
 
 	"oslayout/internal/cache"
 	"oslayout/internal/layout"
-	"oslayout/internal/program"
 	"oslayout/internal/progtest"
 	"oslayout/internal/trace"
 )
@@ -104,9 +103,9 @@ func TestRunRejectsForeignLayout(t *testing.T) {
 	}
 }
 
-func TestRunSplitIsolatesDomains(t *testing.T) {
+func TestPartitionedSplitIsolatesDomains(t *testing.T) {
 	// OS and app blocks that would conflict in a shared cache do not in a
-	// split one.
+	// way-partitioned one (the paper's Sep setup).
 	osP, _ := progtest.Linear(1, 32)
 	appP, _ := progtest.Linear(1, 32)
 	osL := layout.New("os", osP, 0)
@@ -123,11 +122,13 @@ func TestRunSplitIsolatesDomains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	half := cache.Config{Size: 32, Line: 32, Assoc: 1}
-	split, err := RunSplit(tr, osL, appL, half, half)
+	splitCfg := cache.Config{Size: 64, Line: 32, Assoc: 2,
+		Part: cache.Partition{OSWays: 1, AppWays: 1}}
+	ress, err := RunMany(tr, osL, appL, []cache.Config{splitCfg})
 	if err != nil {
 		t.Fatal(err)
 	}
+	split := ress[0]
 	if shared.Stats.TotalMisses() != 20 {
 		t.Fatalf("shared misses = %d, want 20 (full thrash)", shared.Stats.TotalMisses())
 	}
@@ -139,19 +140,23 @@ func TestRunSplitIsolatesDomains(t *testing.T) {
 	}
 }
 
-func TestRunReservedRoutesReservedBlocks(t *testing.T) {
-	// Two OS blocks at conflicting addresses; reserving one of them gives
-	// each block its own cache and eliminates the conflict.
+func TestPartitionedReservedRoutesReservedLines(t *testing.T) {
+	// Two OS blocks at conflicting addresses; reserving one of them routes
+	// it to a dedicated way region and eliminates the conflict.
 	tr, l := conflictTrace(10)
-	reserved := map[program.BlockID]bool{1: true}
-	res, err := RunReserved(tr, l, nil, reserved,
-		cache.Config{Size: 1 << 10, Line: 32, Assoc: 1},
-		cache.Config{Size: 64, Line: 32, Assoc: 1})
+	cfg := cache.Config{Size: 128, Line: 32, Assoc: 2,
+		Part: cache.Partition{ResvWays: 1}}
+	setup := func(c *cache.Cache) error {
+		// Block 1 sits at address 64 = line 2 under the 32B line size.
+		return c.SetReservedLines([]uint64{2})
+	}
+	ress, err := RunManyOpt(tr, l, nil, []cache.Config{cfg},
+		Options{Setups: []CacheSetup{setup}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.TotalMisses() != 2 {
-		t.Fatalf("reserved-route misses = %d, want 2 cold", res.Stats.TotalMisses())
+	if got := ress[0].Stats.TotalMisses(); got != 2 {
+		t.Fatalf("reserved-route misses = %d, want 2 cold", got)
 	}
 }
 

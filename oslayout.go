@@ -70,6 +70,14 @@ type (
 	CacheConfig = cache.Config
 	// CacheStats accumulates per-domain reference and miss counts.
 	CacheStats = cache.Stats
+	// Partition assigns an associative cache's ways to OS, application,
+	// reserved and shared regions (the way-partitioned generalisation of
+	// the paper's Sep and Resv hardware alternatives).
+	Partition = cache.Partition
+	// CacheSetup configures a freshly built cache before replay — the
+	// hook partition controllers use to install reserved lines and bind
+	// dynamic repartitioning policies.
+	CacheSetup = simulate.CacheSetup
 	// Result is the outcome of one cache simulation run.
 	Result = simulate.Result
 	// App is a synthesized application image.
@@ -544,12 +552,21 @@ func (s *Study) EvaluateObserved(i int, osL, appL *Layout, cfg CacheConfig, o Ob
 // EvaluateManyObserved is EvaluateMany with optional per-configuration
 // observers (observers[i] watches cfgs[i]; nil entries are free).
 func (s *Study) EvaluateManyObserved(i int, osL, appL *Layout, cfgs []CacheConfig, observers []Observer) ([]*Result, error) {
+	return s.EvaluateManyConfigured(i, osL, appL, cfgs, observers, nil)
+}
+
+// EvaluateManyConfigured is EvaluateManyObserved with optional per-
+// configuration cache setups (setups[i] prepares cfgs[i]'s cache before the
+// replay; nil entries are free). Partition controllers use the setup hook to
+// install reserved line sets and bind dynamic repartitioning policies.
+func (s *Study) EvaluateManyConfigured(i int, osL, appL *Layout, cfgs []CacheConfig, observers []Observer, setups []CacheSetup) ([]*Result, error) {
 	d := s.Data[i]
 	if appL == nil && d.App != nil {
 		appL = s.AppBaseLayout(i)
 	}
 	return simulate.RunManyOpt(d.Trace, osL, appL, cfgs, simulate.Options{
 		Observers: observers,
+		Setups:    setups,
 		Streams:   s.streams,
 		Workers:   s.drivePar,
 	})
@@ -578,29 +595,127 @@ func (s *Study) WithDrivePar(n int) *Study {
 	return &view
 }
 
-// EvaluateSplit replays workload i's trace through the paper's "Sep" setup:
-// the cache statically partitioned between OS and application.
-func (s *Study) EvaluateSplit(i int, osL, appL *Layout, osCfg, appCfg CacheConfig) (*Result, error) {
-	d := s.Data[i]
-	if appL == nil && d.App != nil {
-		appL = s.AppBaseLayout(i)
+// CombineSplit folds the paper's two-cache "Sep" setup (an OS cache and an
+// application cache, Section 5.5) into one way-partitioned organisation:
+// the halves become dedicated way regions of a single cache with the same
+// set count. Both halves must share the line size and map to equally many
+// sets, the condition under which the partitioned replay is bit-identical
+// to the historical two-cache model (disjoint address domains mean the
+// shared eviction history never mixes).
+func CombineSplit(osCfg, appCfg CacheConfig) (CacheConfig, error) {
+	if err := osCfg.Validate(); err != nil {
+		return CacheConfig{}, err
 	}
-	return simulate.RunSplit(d.Trace, osL, appL, osCfg, appCfg)
+	if err := appCfg.Validate(); err != nil {
+		return CacheConfig{}, err
+	}
+	switch {
+	case osCfg.Line != appCfg.Line:
+		return CacheConfig{}, fmt.Errorf("oslayout: split halves disagree on line size: %d vs %d", osCfg.Line, appCfg.Line)
+	case osCfg.NumSets() != appCfg.NumSets():
+		return CacheConfig{}, fmt.Errorf("oslayout: split halves map to different set counts: %d vs %d", osCfg.NumSets(), appCfg.NumSets())
+	case osCfg.Part.Enabled() || appCfg.Part.Enabled():
+		return CacheConfig{}, fmt.Errorf("oslayout: split halves must be unpartitioned")
+	}
+	return CacheConfig{
+		Size:   osCfg.Size + appCfg.Size,
+		Line:   osCfg.Line,
+		Assoc:  osCfg.Assoc + appCfg.Assoc,
+		Policy: osCfg.Policy,
+		Part:   Partition{OSWays: osCfg.Assoc, AppWays: appCfg.Assoc},
+	}, nil
+}
+
+// CombineReserved folds the paper's "Resv" setup (a small cache dedicated
+// to the hot OS blocks plus a main cache for everything else) into one
+// way-partitioned organisation: the small cache becomes a reserved way
+// region, the main cache the shared remainder. Both must share the line
+// size and set count.
+func CombineReserved(smallCfg, mainCfg CacheConfig) (CacheConfig, error) {
+	if err := smallCfg.Validate(); err != nil {
+		return CacheConfig{}, err
+	}
+	if err := mainCfg.Validate(); err != nil {
+		return CacheConfig{}, err
+	}
+	switch {
+	case smallCfg.Line != mainCfg.Line:
+		return CacheConfig{}, fmt.Errorf("oslayout: reserved halves disagree on line size: %d vs %d", smallCfg.Line, mainCfg.Line)
+	case smallCfg.NumSets() != mainCfg.NumSets():
+		return CacheConfig{}, fmt.Errorf("oslayout: reserved halves map to different set counts: %d vs %d", smallCfg.NumSets(), mainCfg.NumSets())
+	case smallCfg.Part.Enabled() || mainCfg.Part.Enabled():
+		return CacheConfig{}, fmt.Errorf("oslayout: reserved halves must be unpartitioned")
+	}
+	return CacheConfig{
+		Size:   smallCfg.Size + mainCfg.Size,
+		Line:   mainCfg.Line,
+		Assoc:  smallCfg.Assoc + mainCfg.Assoc,
+		Policy: mainCfg.Policy,
+		Part:   Partition{ResvWays: smallCfg.Assoc},
+	}, nil
+}
+
+// ReservedLines expands a reserved OS block set (typically a plan's
+// SelfConfFree sequences) into the cache line numbers those blocks occupy
+// under the given layout — the per-line form cache.SetReservedLines routes
+// on. A line straddled by both reserved and unreserved code counts as
+// reserved.
+func ReservedLines(osL *Layout, blocks []program.BlockID, lineSize int) []uint64 {
+	var lines []uint64
+	seen := make(map[uint64]bool)
+	for _, b := range blocks {
+		addr := osL.Addr[b]
+		size := osL.Prog.Block(b).Size
+		if size <= 0 {
+			continue
+		}
+		for line := addr / uint64(lineSize); line <= (addr+uint64(size)-1)/uint64(lineSize); line++ {
+			if !seen[line] {
+				seen[line] = true
+				lines = append(lines, line)
+			}
+		}
+	}
+	return lines
+}
+
+// EvaluateSplit replays workload i's trace through the paper's "Sep" setup:
+// the cache statically partitioned between OS and application. The two
+// halves are folded into one way-partitioned cache (CombineSplit) and
+// replayed on the compiled-stream engine; for equal-geometry halves this is
+// bit-identical to the historical two-cache model.
+func (s *Study) EvaluateSplit(i int, osL, appL *Layout, osCfg, appCfg CacheConfig) (*Result, error) {
+	cfg, err := CombineSplit(osCfg, appCfg)
+	if err != nil {
+		return nil, err
+	}
+	ress, err := s.EvaluateMany(i, osL, appL, []CacheConfig{cfg})
+	if err != nil {
+		return nil, err
+	}
+	return ress[0], nil
 }
 
 // EvaluateReserved replays workload i's trace through the paper's "Resv"
-// setup: a small dedicated cache for the reserved hot OS blocks and a main
-// cache for everything else.
+// setup: a reserved way region dedicated to the hot OS blocks (the plan's
+// self-conflict-free sequences) and the remaining ways shared. The two
+// historical caches are folded into one way-partitioned organisation
+// (CombineReserved) and replayed on the compiled-stream engine; the
+// reserved region is keyed per line, so a line straddling reserved and
+// unreserved code routes reserved (see EXPERIMENTS.md for the delta vs the
+// per-block legacy model).
 func (s *Study) EvaluateReserved(i int, osL, appL *Layout, reserved []program.BlockID, smallCfg, mainCfg CacheConfig) (*Result, error) {
-	d := s.Data[i]
-	if appL == nil && d.App != nil {
-		appL = s.AppBaseLayout(i)
+	cfg, err := CombineReserved(smallCfg, mainCfg)
+	if err != nil {
+		return nil, err
 	}
-	set := make(map[program.BlockID]bool, len(reserved))
-	for _, b := range reserved {
-		set[b] = true
+	lines := ReservedLines(osL, reserved, cfg.Line)
+	setup := func(c *cache.Cache) error { return c.SetReservedLines(lines) }
+	ress, err := s.EvaluateManyConfigured(i, osL, appL, []CacheConfig{cfg}, nil, []CacheSetup{setup})
+	if err != nil {
+		return nil, err
 	}
-	return simulate.RunReserved(d.Trace, osL, appL, set, smallCfg, mainCfg)
+	return ress[0], nil
 }
 
 // WorkloadNames returns the study's workload names in order.

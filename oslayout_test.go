@@ -170,11 +170,19 @@ func TestEvaluateSplitAndReserved(t *testing.T) {
 	if res.Stats.TotalRefs() == 0 {
 		t.Fatal("split run produced no references")
 	}
+	// Both regions of a way-partitioned cache share one set index, so the
+	// reserved and main configs must agree on set count: 1KB DM beside a
+	// 7KB 7-way, 32 sets each.
 	small := CacheConfig{Size: 1 << 10, Line: 32, Assoc: 1}
-	main := CacheConfig{Size: 7 << 10, Line: 32, Assoc: 1}
+	main := CacheConfig{Size: 7 << 10, Line: 32, Assoc: 7}
 	resv, err := st.EvaluateReserved(1, plan.Layout, nil, plan.SelfConfFree, small, main)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The legacy direct-mapped main config maps to 224 sets and is rejected.
+	if _, err := st.EvaluateReserved(1, plan.Layout, nil, plan.SelfConfFree,
+		small, CacheConfig{Size: 7 << 10, Line: 32, Assoc: 1}); err == nil {
+		t.Fatal("mismatched set counts accepted")
 	}
 	if resv.Stats.TotalRefs() != res.Stats.TotalRefs() {
 		t.Fatal("reserved run saw a different reference stream")
