@@ -13,9 +13,11 @@
 //	oslayout serve [flags]             HTTP daemon: jobs, metrics, SSE, pprof
 //
 // Paper experiments: table1-table4, fig1-fig8, fig12-fig18. Extensions:
-// xprofile, baselines, ablation, cpus, policy (see EXPERIMENTS.md). The
-// study — kernel synthesis, trace generation, profiling — is built once and
-// shared by all requested experiments.
+// fig18x (way-partition policies), fig19 (shared-cache multiprocessor
+// replay over -cpus interleaved traces), xprofile, baselines, ablation,
+// cpus, policy (see EXPERIMENTS.md). The study — kernel synthesis, trace
+// generation, profiling — is built once and shared by all requested
+// experiments.
 //
 // The compare subcommand evaluates any set of registered layout strategies
 // over a workload × cache-size grid through the single-pass simulation
@@ -76,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
 		tracePath  = fs.String("trace", "", "file to write the run's phase timings to as Chrome trace_event JSON (chrome://tracing, Perfetto)")
 		par        = fs.Int("par", runtime.GOMAXPROCS(0), "parallelism bound for experiment fan-out and the replay drive pool (1 = fully sequential; results identical at any setting)")
+		cpus       = fs.Int("cpus", 4, "simulated CPU count for the multiprocessor experiments (fig19 and cpus); the paper's machine has 4")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: oslayout [flags] <experiment>...|all|stats|list\n\nexperiments: %v\n\nflags:\n",
@@ -138,6 +141,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *cpus < 1 || *cpus > 16 {
+		return fmt.Errorf("-cpus must be in 1..16 (got %d)", *cpus)
+	}
 	var rec *oslayout.Recorder
 	if *reportDir != "" || *tracePath != "" {
 		rec = oslayout.NewRecorder()
@@ -148,6 +154,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		KernelSeed:  *seed,
 		Recorder:    rec,
 		Par:         *par,
+		CPUs:        *cpus,
 		Stream:      streamMode(*stream),
 		ChunkEvents: *chunk,
 	})
@@ -222,6 +229,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		part       = fs.String("partition", "", "way-partition policy applied to every cell, e.g. 'static', 'interval,every=4,grain=1', 'missdriven,os=5,app=3' (see 'oslayout run fig18x' for the scenario sweep)")
 		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
 		par        = fs.Int("par", runtime.GOMAXPROCS(0), "parallelism bound for grid fan-out and the replay drive pool (1 = fully sequential; results identical at any setting)")
+		cpus       = fs.Int("cpus", 1, "simulated CPUs sharing each cell's cache (1 = classic single-CPU grid; above 1 the per-CPU traces are interleaved into one shared cache)")
 	)
 	fs.Usage = func() {
 		var names []string
@@ -260,6 +268,9 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *cpus < 1 || *cpus > 16 {
+		return fmt.Errorf("-cpus must be in 1..16 (got %d)", *cpus)
+	}
 	var rec *oslayout.Recorder
 	if *reportDir != "" {
 		rec = oslayout.NewRecorder()
@@ -281,7 +292,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 	}
 	t0 := time.Now()
 	c, err := env.RunCompareOpts(stratList, sizeList, *line, *assoc,
-		expt.CompareOptions{Detail: *detail, Partition: *part})
+		expt.CompareOptions{Detail: *detail, Partition: *part, CPUs: *cpus})
 	if err != nil {
 		return err
 	}

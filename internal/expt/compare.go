@@ -3,12 +3,14 @@ package expt
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"oslayout"
 	"oslayout/internal/cache"
 	"oslayout/internal/layout"
 	"oslayout/internal/obs"
 	"oslayout/internal/partition"
+	"oslayout/internal/simulate"
 	"oslayout/internal/strategy"
 	"oslayout/internal/trace"
 )
@@ -27,8 +29,20 @@ type Compare struct {
 	// Partition is the way-partition spec every cell ran under ("" when
 	// unpartitioned).
 	Partition string
+	// CPUs is the simulated CPU count: 1 replays each workload's own trace
+	// (the classic grid); above 1 every cell drives the interleaved
+	// multi-CPU trace into one shared cache of the cell's configuration.
+	CPUs int
 	// Rates[s][w][k]: total miss rate at size s, workload w, strategy k.
 	Rates [][][]float64
+	// CPURates[s][w][k][c] is CPU c's miss rate in the same cell; nil
+	// unless CPUs > 1.
+	CPURates [][][][]float64
+	// Evictions[s][w][k] and CrossEvictions[s][w][k] are each shared cell's
+	// total eviction count and its cross-CPU (installer != evictor) share;
+	// nil unless CPUs > 1.
+	Evictions      [][][]uint64
+	CrossEvictions [][][]uint64
 	// Attr[s][w][k] is the conflict attribution for the same cell; nil
 	// unless the comparison ran in detail mode.
 	Attr [][][]*Attribution
@@ -83,6 +97,11 @@ type CompareOptions struct {
 	// policy is rejected — it needs a SelfConfFree block set, which the
 	// strategy grid has no single source for (use fig18x instead).
 	Partition string
+	// CPUs above 1 turns every cell into a shared-cache multiprocessor
+	// replay: CPUs per-CPU traces interleaved and driven into one shared
+	// cache per cell (the CLI's `compare -cpus`). 0 and 1 run the classic
+	// single-CPU grid, bit-identically.
+	CPUs int
 }
 
 // RunCompareOpts is the full-option comparison engine.
@@ -108,12 +127,17 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 		}
 		spec = sp
 	}
+	cpus := opt.CPUs
+	if cpus < 1 {
+		cpus = 1
+	}
 	c := &Compare{
 		Strategies: strategies,
 		Sizes:      sizes,
 		Line:       line,
 		Assoc:      assoc,
 		Workloads:  e.Workloads(),
+		CPUs:       cpus,
 	}
 	if opt.Partition != "" {
 		c.Partition = spec.String()
@@ -172,6 +196,43 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 				c.PartFinal[si][wi] = make([]string, len(strategies))
 				c.PartSplit[si][wi] = make([]cache.Partition, len(strategies))
 			}
+		}
+	}
+
+	// Multi-CPU grids share one merged trace per workload across the
+	// strategy tasks; materialised or header-only per the study's pipeline
+	// mode, built serially (application image construction), replayed
+	// read-only in parallel below.
+	var mtrs []*trace.MultiTrace
+	var appLs []*layout.Layout
+	if cpus > 1 {
+		c.CPURates = make([][][][]float64, len(sizes))
+		c.Evictions = make([][][]uint64, len(sizes))
+		c.CrossEvictions = make([][][]uint64, len(sizes))
+		for si := range sizes {
+			c.CPURates[si] = make([][][]float64, nw)
+			c.Evictions[si] = make([][]uint64, nw)
+			c.CrossEvictions[si] = make([][]uint64, nw)
+			for wi := 0; wi < nw; wi++ {
+				c.CPURates[si][wi] = make([][]float64, len(strategies))
+				c.Evictions[si][wi] = make([]uint64, len(strategies))
+				c.CrossEvictions[si][wi] = make([]uint64, len(strategies))
+				for k := range strategies {
+					c.CPURates[si][wi][k] = make([]float64, cpus)
+				}
+			}
+		}
+		mtrs = make([]*trace.MultiTrace, nw)
+		appLs = make([]*layout.Layout, nw)
+		for wi := 0; wi < nw; wi++ {
+			ms, err := e.multiSource(wi, cpus)
+			if err != nil {
+				return nil, err
+			}
+			if mtrs[wi], err = e.multiTrace(ms); err != nil {
+				return nil, err
+			}
+			appLs[wi] = appBaseOf(ms)
 		}
 	}
 
@@ -238,9 +299,32 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 				stats[i] = s
 			}
 		}
-		ress, err := e.EvalManyConfigured(tk.wi, osL, nil, cfgs, observers, setups)
-		if err != nil {
-			return err
+		var ress []*simulate.Result
+		if cpus > 1 {
+			start := time.Now()
+			shared, err := simulate.RunShared(mtrs[tk.wi], osL, appLs[tk.wi], cfgs,
+				simulate.SharedOptions{Observers: observers, Setups: setups, Workers: e.par})
+			if err != nil {
+				return err
+			}
+			e.recordAdhocReplay(mtrs[tk.wi].Trace, start)
+			ress = make([]*simulate.Result, len(shared))
+			for i, si := range tk.sis {
+				ress[i] = shared[i].Result
+				if got := shared[i].CPU.EvictionTotal(); got != shared[i].Evictions {
+					return fmt.Errorf("compare: eviction attribution sums to %d of %d evictions", got, shared[i].Evictions)
+				}
+				for cpu := 0; cpu < cpus; cpu++ {
+					c.CPURates[si][tk.wi][tk.k][cpu] = shared[i].CPU.MissRate(cpu)
+				}
+				c.Evictions[si][tk.wi][tk.k] = shared[i].Evictions
+				c.CrossEvictions[si][tk.wi][tk.k] = shared[i].CPU.CrossEvictions()
+			}
+		} else {
+			var err error
+			if ress, err = e.EvalManyConfigured(tk.wi, osL, nil, cfgs, observers, setups); err != nil {
+				return err
+			}
 		}
 		var resolver *obs.LineResolver
 		if detail {
@@ -302,6 +386,9 @@ func (c *Compare) Render() string {
 	if c.Partition != "" {
 		fmt.Fprintf(&sb, ", partition %s", c.Partition)
 	}
+	if c.CPUs > 1 {
+		fmt.Fprintf(&sb, ", %d CPUs sharing each cache", c.CPUs)
+	}
 	sb.WriteString("\n")
 	fmt.Fprintf(&sb, "  %-7s %-12s", "size", "workload")
 	for _, s := range c.Strategies {
@@ -341,6 +428,25 @@ func (c *Compare) Render() string {
 						fmt.Fprintf(&sb, "  worst %s", a.TopPair)
 					}
 					sb.WriteString("\n")
+				}
+			}
+		}
+	}
+	if c.CPURates != nil {
+		sb.WriteString("\nPer-CPU miss rates and cross-CPU evictions (shared cache)\n")
+		for si, size := range c.Sizes {
+			label := fmt.Sprintf("%dKB", size>>10)
+			if size%(1<<10) != 0 {
+				label = fmt.Sprintf("%dB", size)
+			}
+			for wi, w := range c.Workloads {
+				for k, s := range c.Strategies {
+					fmt.Fprintf(&sb, "  %-7s %-12s %-8s", label, w, s)
+					for cpu, v := range c.CPURates[si][wi][k] {
+						fmt.Fprintf(&sb, " cpu%d %5.2f%%", cpu, 100*v)
+					}
+					fmt.Fprintf(&sb, "  cross-evict %d/%d\n",
+						c.CrossEvictions[si][wi][k], c.Evictions[si][wi][k])
 				}
 			}
 		}

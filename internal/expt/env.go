@@ -48,6 +48,10 @@ type Options struct {
 	// -par flag). 0 selects GOMAXPROCS; 1 forces fully sequential runs.
 	// Results are bit-identical at every setting.
 	Par int
+	// CPUs is the simulated CPU count of the multiprocessor experiments
+	// (fig19 and the cpus extension; the CLI's -cpus flag). 0 selects 4,
+	// the paper's Alliant FX/8.
+	CPUs int
 	// Stream selects the study's trace pipeline: StreamAuto (default)
 	// materialises under the budget and streams above it, StreamOn forces
 	// the chunked constant-memory pipeline (the CLI's -stream flag).
@@ -82,6 +86,7 @@ type Env struct {
 	layouts  *strategy.Cache
 	onWindow func(obs.WindowFlush)
 	par      int
+	cpus     int
 	loops    []cfa.Loop
 	// refsTot lazily caches per-workload total references (recordReplay).
 	refsOnce sync.Once
@@ -95,6 +100,9 @@ type Env struct {
 func NewEnv(opt Options) (*Env, error) {
 	if opt.Par <= 0 {
 		opt.Par = runtime.GOMAXPROCS(0)
+	}
+	if opt.CPUs <= 0 {
+		opt.CPUs = 4
 	}
 	st := opt.Study
 	if st != nil {
@@ -123,6 +131,7 @@ func NewEnv(opt Options) (*Env, error) {
 		layouts:  layouts,
 		onWindow: opt.OnWindow,
 		par:      opt.Par,
+		cpus:     opt.CPUs,
 		results:  make(map[string]Renderer),
 	}, nil
 }

@@ -32,6 +32,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		"table1", "table2", "table3", "table4",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig18x",
+		"fig19",
 		// extensions
 		"xprofile", "baselines", "ablation", "cpus", "policy",
 		"overhead", "lineutil", "noise", "fragments", "sizemismatch",
@@ -679,6 +680,7 @@ func TestAllExperimentsRender(t *testing.T) {
 		"fig17":        "associativity",
 		"fig18":        "alternative setups",
 		"fig18x":       "way-partition policies",
+		"fig19":        "shared-cache multiprocessor replay",
 		"xprofile":     "cross-profile",
 		"baselines":    "baseline families",
 		"ablation":     "ablations",

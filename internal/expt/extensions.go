@@ -7,15 +7,17 @@ package expt
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"time"
 
 	"oslayout"
 	"oslayout/internal/cache"
 	"oslayout/internal/core"
 	"oslayout/internal/layout"
+	"oslayout/internal/obs"
 	"oslayout/internal/program"
 	"oslayout/internal/simulate"
-	"oslayout/internal/trace"
 	"oslayout/internal/workload"
 )
 
@@ -298,42 +300,65 @@ type MultiCPU struct {
 	CPUs                                       int
 }
 
-// RunMultiCPU computes the per-CPU statistics.
+// RunMultiCPU computes the per-CPU statistics. The per-CPU traces are the
+// same ones fig19 interleaves (the multi-source's walker-seed family, at
+// the study's reference target), each replayed independently through the
+// batched engine — honouring the environment's streaming mode, worker
+// bound, recorder and live-progress hook.
 func (e *Env) RunMultiCPU() (*MultiCPU, error) {
-	const cpus = 4
+	cpus := e.cpus
 	cfg := DefaultCache
 	plan, err := e.Plan("opts", cfg.Size)
 	if err != nil {
 		return nil, err
 	}
 	m := &MultiCPU{Workloads: e.Workloads(), CPUs: cpus}
-	for i, d := range e.St.Data {
-		var base, opts []float64
-		for cpu := 0; cpu < cpus; cpu++ {
-			tr, app, err := workload.Generate(e.St.Kernel, d.Workload, workload.Options{
-				Seed:   int64(9100 + 17*i + cpu),
-				OSRefs: 750_000,
-			})
-			if err != nil {
-				return nil, err
-			}
-			var appL *layout.Layout
-			if app != nil {
-				appL = layout.NewBase(app.Prog, 1<<24)
-			}
-			rb, err := evalTrace(tr, e.Base(), appL, cfg)
-			if err != nil {
-				return nil, err
-			}
-			ro, err := evalTrace(tr, plan.Layout, appL, cfg)
-			if err != nil {
-				return nil, err
-			}
-			base = append(base, rb)
-			opts = append(opts, ro)
+	nw := len(e.St.Data)
+
+	// Sources are built serially (application image construction is not
+	// replay work); the cpus×workloads replay grid fans out below.
+	srcs := make([]*workload.MultiSource, nw)
+	for i := range srcs {
+		if srcs[i], err = e.multiSource(i, cpus); err != nil {
+			return nil, err
 		}
-		mb, sb := meanSpread(base)
-		mo, so := meanSpread(opts)
+	}
+
+	layouts := []*layout.Layout{e.Base(), plan.Layout}
+	rates := make([][2][]float64, nw)
+	for i := range rates {
+		rates[i][0] = make([]float64, cpus)
+		rates[i][1] = make([]float64, cpus)
+	}
+	if err := e.parEach(nw*cpus, func(j int) error {
+		i, cpu := j/cpus, j%cpus
+		tr, err := e.cpuTrace(srcs[i], cpu)
+		if err != nil {
+			return err
+		}
+		appL := appBaseOf(srcs[i])
+		for li, osL := range layouts {
+			var observers []obs.Observer
+			if e.onWindow != nil {
+				observers = []obs.Observer{e.progressObserver(i, cfg)}
+			}
+			start := time.Now()
+			ress, err := simulate.RunManyOpt(tr, osL, appL,
+				[]cache.Config{cfg}, simulate.Options{Observers: observers, Workers: e.par})
+			if err != nil {
+				return err
+			}
+			e.recordAdhocReplay(tr, start)
+			rates[i][li][cpu] = ress[0].Stats.MissRate()
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for i := range rates {
+		mb, sb := meanSpread(rates[i][0])
+		mo, so := meanSpread(rates[i][1])
 		m.MeanBase = append(m.MeanBase, mb)
 		m.SpreadBase = append(m.SpreadBase, sb)
 		m.MeanOptS = append(m.MeanOptS, mo)
@@ -408,23 +433,20 @@ func (r *ReplacementPolicy) Render() string {
 	return sb.String()
 }
 
-// evalTrace evaluates one standalone trace (the MultiCPU helper) and
-// returns its total miss rate.
-func evalTrace(tr *trace.Trace, osL, appL *layout.Layout, cfg cache.Config) (float64, error) {
-	res, err := simulate.Run(tr, osL, appL, cfg)
-	if err != nil {
-		return 0, err
-	}
-	return res.Stats.MissRate(), nil
-}
-
-// meanSpread returns the mean and max-min spread of the values.
+// meanSpread returns the mean and max-min spread of the finite values;
+// NaN and Inf entries (a zero-reference replay's 0/0) are skipped, and an
+// empty or all-non-finite input yields (0, 0) rather than NaN.
 func meanSpread(vals []float64) (mean, spread float64) {
-	if len(vals) == 0 {
-		return 0, 0
-	}
-	mn, mx := vals[0], vals[0]
+	n := 0
+	var mn, mx float64
 	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if n == 0 {
+			mn, mx = v, v
+		}
+		n++
 		mean += v
 		if v < mn {
 			mn = v
@@ -433,5 +455,8 @@ func meanSpread(vals []float64) (mean, spread float64) {
 			mx = v
 		}
 	}
-	return mean / float64(len(vals)), mx - mn
+	if n == 0 {
+		return 0, 0
+	}
+	return mean / float64(n), mx - mn
 }

@@ -44,6 +44,7 @@ var registry = map[string]entry{
 	"fig17":  {run: func(e *Env) (Renderer, error) { return e.RunFigure17() }},
 	"fig18":  {run: func(e *Env) (Renderer, error) { return e.RunFigure18() }},
 	"fig18x": {run: func(e *Env) (Renderer, error) { return e.RunFigure18X() }},
+	"fig19":  {run: func(e *Env) (Renderer, error) { return e.RunFigure19() }},
 
 	// Extensions beyond the paper (see EXPERIMENTS.md):
 	"xprofile":     {run: func(e *Env) (Renderer, error) { return e.RunCrossProfile() }},

@@ -1,0 +1,164 @@
+package obs
+
+// CPUStats is the per-CPU extension of the conflict-attribution layer for
+// shared-cache multiprocessor replay (simulate.RunShared): it splits
+// references and misses by fetching CPU, and attributes every eviction to
+// the (installer CPU, evictor CPU) pair — the destructive-interference
+// matrix — while counting constructive sharing: hits on lines a sibling
+// CPU already fetched (the shared kernel image acting as a cross-CPU
+// prefetcher).
+//
+// The installer table is the per-CPU analogue of the cache's dense
+// eviction-provenance history: one byte per line address recording which
+// CPU last installed the line. Lookups happen only for resident lines (on
+// hits and on eviction victims), and every install goes through Install, so
+// an attribution lookup always finds a valid entry — which is why the
+// eviction matrix sums exactly to the eviction count, with no "unknown"
+// bucket.
+
+import "oslayout/internal/trace"
+
+// noInstaller marks a line address never installed. It is never read for a
+// resident line; it exists so a defensive lookup has a sentinel.
+const noInstaller = 0xFF
+
+// CPUStats accumulates the per-CPU split of one shared-cache replay.
+type CPUStats struct {
+	// NumCPUs is the CPU count of the merged trace.
+	NumCPUs int
+	// Refs[cpu][d] and Misses[cpu][d] split the replay by fetching CPU and
+	// domain.
+	Refs   [][trace.NumDomains]uint64
+	Misses [][trace.NumDomains]uint64
+	// Evictions[installer][evictor] counts lines installed by one CPU and
+	// evicted by a fetch from another (or the same: the diagonal is
+	// self-interference). Summed over all pairs it equals the replay's
+	// total eviction count.
+	Evictions [][]uint64
+	// SharedHits[cpu][d] counts hits by cpu on lines installed by a
+	// sibling CPU — cross-CPU constructive sharing. The OS column is the
+	// paper-relevant one: kernel lines prefetched by sibling invocations.
+	SharedHits [][trace.NumDomains]uint64
+
+	installer []uint8
+}
+
+// NewCPUStats returns stats for a cpus-CPU replay (1 <= cpus <= 255).
+func NewCPUStats(cpus int) *CPUStats {
+	s := &CPUStats{
+		NumCPUs:    cpus,
+		Refs:       make([][trace.NumDomains]uint64, cpus),
+		Misses:     make([][trace.NumDomains]uint64, cpus),
+		Evictions:  make([][]uint64, cpus),
+		SharedHits: make([][trace.NumDomains]uint64, cpus),
+	}
+	for i := range s.Evictions {
+		s.Evictions[i] = make([]uint64, cpus)
+	}
+	return s
+}
+
+// Ref accounts one block event's references to the fetching CPU.
+func (s *CPUStats) Ref(cpu int, d trace.Domain, refs uint64) {
+	s.Refs[cpu][d] += refs
+}
+
+// Hit accounts one cache hit: when the line's installer is a different CPU,
+// the hit is a cross-CPU constructive share. (Hits elided at compile time —
+// same-line repeats — are never reported, exactly as for Observer; a repeat
+// is a same-event re-reference, so the undercount is confined to the rare
+// elided access that straddles a CPU switch.)
+func (s *CPUStats) Hit(line uint64, cpu int, d trace.Domain) {
+	if line < uint64(len(s.installer)) {
+		if in := s.installer[line]; in != noInstaller && int(in) != cpu {
+			s.SharedHits[cpu][d]++
+		}
+	}
+}
+
+// Miss accounts one classified miss to the fetching CPU.
+func (s *CPUStats) Miss(cpu int, d trace.Domain) {
+	s.Misses[cpu][d]++
+}
+
+// Install records cpu as the installer of line (called on every miss, after
+// the fill).
+func (s *CPUStats) Install(line uint64, cpu int) {
+	if line >= uint64(len(s.installer)) {
+		s.grow(line)
+	}
+	s.installer[line] = uint8(cpu)
+}
+
+// Evicted attributes one eviction of victim to the fetching CPU that caused
+// it. Victims are resident by definition, so their installer is always
+// recorded; a sentinel hit would mean the driver skipped an Install and is
+// attributed to the evictor to keep the matrix total exact.
+func (s *CPUStats) Evicted(victim uint64, evictor int) {
+	in := evictor
+	if victim < uint64(len(s.installer)) {
+		if v := s.installer[victim]; v != noInstaller {
+			in = int(v)
+		}
+	}
+	s.Evictions[in][evictor]++
+}
+
+func (s *CPUStats) grow(line uint64) {
+	n := uint64(len(s.installer))
+	if n == 0 {
+		n = 1 << 16
+	}
+	for n <= line {
+		n *= 2
+	}
+	grown := make([]uint8, n)
+	for i := range grown {
+		grown[i] = noInstaller
+	}
+	copy(grown, s.installer)
+	s.installer = grown
+}
+
+// MissRate returns one CPU's total miss rate in [0,1].
+func (s *CPUStats) MissRate(cpu int) float64 {
+	refs := s.Refs[cpu][0] + s.Refs[cpu][1]
+	if refs == 0 {
+		return 0
+	}
+	return float64(s.Misses[cpu][0]+s.Misses[cpu][1]) / float64(refs)
+}
+
+// EvictionTotal sums the attribution matrix.
+func (s *CPUStats) EvictionTotal() uint64 {
+	var t uint64
+	for _, row := range s.Evictions {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// CrossEvictions sums the off-diagonal of the attribution matrix: lines one
+// CPU installed that a different CPU's fetch displaced.
+func (s *CPUStats) CrossEvictions() uint64 {
+	var t uint64
+	for i, row := range s.Evictions {
+		for j, v := range row {
+			if i != j {
+				t += v
+			}
+		}
+	}
+	return t
+}
+
+// SharedHitTotal sums cross-CPU constructive hits in domain d over CPUs.
+func (s *CPUStats) SharedHitTotal(d trace.Domain) uint64 {
+	var t uint64
+	for _, h := range s.SharedHits {
+		t += h[d]
+	}
+	return t
+}

@@ -39,6 +39,11 @@ type JobSpec struct {
 	// Chunk is the streaming window size in trace events (the CLI's
 	// -chunk); 0 selects the default (~1M events).
 	Chunk int `json:"chunk,omitempty"`
+	// Cpus is the simulated CPU count (the CLI's -cpus). For experiment
+	// jobs it sizes the multiprocessor experiments (fig19, cpus); 0 keeps
+	// the default of 4. For compare jobs a value above 1 turns every grid
+	// cell into a shared-cache multiprocessor replay.
+	Cpus int `json:"cpus,omitempty"`
 }
 
 // streamMode resolves the spec's stream field (validated earlier).
@@ -130,6 +135,9 @@ func (s *JobSpec) validate(budget int64) error {
 	}
 	if s.Chunk < 0 {
 		return fmt.Errorf("chunk must be non-negative, got %d", s.Chunk)
+	}
+	if s.Cpus < 0 || s.Cpus > 16 {
+		return fmt.Errorf("cpus must be in 0..16, got %d", s.Cpus)
 	}
 	mode, err := s.streamMode()
 	if err != nil {

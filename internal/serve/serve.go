@@ -86,9 +86,11 @@ type Server struct {
 	streamMisses  *obs.Counter
 	windowFlushes *obs.Counter
 	repartitions  *obs.Counter
+	crossEvicts   *obs.Counter
 	phaseSeconds  func(phase string) *obs.Histogram
 	missRateGauge func(strategy, workload, size string) *obs.Gauge
 	partWaysGauge func(region, strategy, workload, size string) *obs.Gauge
+	cpuRateGauge  func(cpu, strategy, workload, size string) *obs.Gauge
 }
 
 // New builds a Server and starts its worker pool. Call Close to drain.
@@ -135,6 +137,13 @@ func New(cfg Config) *Server {
 		return reg.Gauge("oslayout_partition_ways",
 			"Final way split of a partitioned compare cell, by cache region, from the latest compare job.",
 			"region", region, "strategy", strategy, "workload", workload, "size_bytes", size)
+	}
+	s.crossEvicts = reg.Counter("oslayout_crosscpu_evictions_total",
+		"Shared-cache evictions where the victim's installer and the evictor are different CPUs, accumulated over multiprocessor compare jobs.")
+	s.cpuRateGauge = func(cpu, strategy, workload, size string) *obs.Gauge {
+		return reg.Gauge("oslayout_cpu_miss_rate",
+			"Per-CPU miss rate of a shared-cache multiprocessor compare cell, from the latest compare job.",
+			"cpu", cpu, "strategy", strategy, "workload", workload, "size_bytes", size)
 	}
 	reg.GaugeFunc("oslayout_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -201,6 +210,7 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 		KernelSeed:        j.Spec.Seed,
 		Recorder:          j.rec,
 		Par:               par,
+		CPUs:              j.Spec.Cpus,
 		Stream:            stream,
 		ChunkEvents:       j.Spec.Chunk,
 		StreamBudgetBytes: s.budget,
@@ -256,7 +266,7 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 			return nil, err
 		}
 		grid, err := env.RunCompareOpts(c.Strategies, sizes, c.Line, c.Assoc,
-			expt.CompareOptions{Detail: c.Detail, Partition: c.Partition})
+			expt.CompareOptions{Detail: c.Detail, Partition: c.Partition, CPUs: j.Spec.Cpus})
 		if err != nil {
 			return nil, err
 		}
@@ -273,6 +283,12 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 						s.partWaysGauge("app", name, w, sizeLabel).Set(float64(sp.AppWays))
 						s.partWaysGauge("resv", name, w, sizeLabel).Set(float64(sp.ResvWays))
 						s.repartitions.Add(grid.PartEvents[si][wi][k])
+					}
+					if grid.CPURates != nil {
+						for cpu, v := range grid.CPURates[si][wi][k] {
+							s.cpuRateGauge(strconv.Itoa(cpu), name, w, sizeLabel).Set(v)
+						}
+						s.crossEvicts.Add(grid.CrossEvictions[si][wi][k])
 					}
 				}
 			}

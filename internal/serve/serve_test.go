@@ -296,6 +296,59 @@ func TestCompareJobSetsMissRateGauges(t *testing.T) {
 	}
 }
 
+// TestMultiCPUCompareJob runs a shared-cache multiprocessor compare grid
+// and checks the daemon's per-CPU observability: one miss-rate gauge per
+// (cpu, strategy) cell and the cross-CPU eviction counter, plus the
+// rendered per-CPU section.
+func TestMultiCPUCompareJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := submit(t, ts, fmt.Sprintf(
+		`{"compare":{"strategies":["base"],"sizes":["8k"]},"refs":%d,"cpus":2}`, testRefs))
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("multi-CPU compare ended %s: %s", final.State, final.Error)
+	}
+	res, ok := final.Results["compare"]
+	if !ok {
+		t.Fatalf("no compare result in %+v", final.Results)
+	}
+	if !strings.Contains(res.Rendered, "2 CPUs sharing each cache") ||
+		!strings.Contains(res.Rendered, "Per-CPU miss rates") {
+		t.Errorf("rendered grid missing the multi-CPU sections:\n%s", res.Rendered)
+	}
+	fams := scrape(t, ts)
+	f, ok := fams["oslayout_cpu_miss_rate"]
+	if !ok {
+		t.Fatal("per-CPU miss-rate gauge missing")
+	}
+	seen := map[string]bool{}
+	for sample, v := range f.samples {
+		for cpu := 0; cpu < 2; cpu++ {
+			label := fmt.Sprintf(`cpu="%d"`, cpu)
+			if strings.Contains(sample, label) && strings.Contains(sample, `strategy="base"`) {
+				seen[label] = true
+				if v <= 0 || v >= 1 {
+					t.Errorf("per-CPU miss rate %s = %v, want in (0,1)", sample, v)
+				}
+			}
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("per-CPU gauges for %d of 2 CPUs: %v", len(seen), f.samples)
+	}
+	cc, ok := fams["oslayout_crosscpu_evictions_total"]
+	if !ok {
+		t.Fatal("cross-CPU eviction counter missing")
+	}
+	var crossEvicts float64
+	for _, v := range cc.samples {
+		crossEvicts += v
+	}
+	if crossEvicts == 0 {
+		t.Error("shared-cache compare job recorded no cross-CPU evictions")
+	}
+}
+
 // TestPartitionedCompareJob runs a compare grid under a dynamic way
 // partition and checks the daemon's partition observability: per-region
 // final-split gauges and the repartition-event counter.
@@ -446,6 +499,9 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 		`{"compare":{"strategies":["base"],"sizes":["8k"],"assoc":8,"partition":"reserved"}}`,
 		`{"compare":{"strategies":["base"],"sizes":["8k"],"partition":"static"}}`,
 		`{"compare":{"strategies":["base"],"sizes":["8k"],"assoc":4,"partition":"static,os=9"}}`,
+		// CPU counts outside 0..16 are refused at admission.
+		`{"compare":{"strategies":["base"],"sizes":["8k"]},"cpus":99}`,
+		`{"experiments":["cpus"],"cpus":-1}`,
 	} {
 		resp, err := http.Post(ts.URL+"/api/jobs", "application/json", strings.NewReader(spec))
 		if err != nil {

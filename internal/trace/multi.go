@@ -1,0 +1,56 @@
+package trace
+
+import "fmt"
+
+// Multi-CPU traces. The packed 32-bit Event format has no spare bits for a
+// CPU identifier (2 tag bits + 30 payload bits), and widening it would
+// double the footprint of every single-CPU trace to serve a feature most
+// replays never use. CPU identity therefore travels *beside* the merged
+// event stream as a run-length schedule: the interleaver emits whole
+// per-CPU segments, so the schedule is a short list of (cpu, events) runs —
+// thousands of entries against millions of events — and the shared-cache
+// drive re-expands it with a cursor while walking the stream.
+
+// CPURun is one contiguous slice of a merged multi-CPU event stream: the
+// next Events raw events (markers included) were issued by CPU.
+type CPURun struct {
+	CPU    int `json:"cpu"`
+	Events int `json:"events"`
+}
+
+// MultiTrace is a merged multi-CPU trace: one event stream (materialised or
+// header-only, exactly like Trace) plus the run-length CPU schedule aligned
+// with it. The embedded Trace replays through every existing single-trace
+// path; multi-CPU-aware drives (simulate.RunShared) additionally follow
+// Runs.
+type MultiTrace struct {
+	*Trace
+	// CPUs is the number of CPUs whose traces were interleaved.
+	CPUs int
+	// Runs covers the whole event stream in order; the run events sum to
+	// NumEvents(). Runs is always materialised, even for header-only
+	// streams — it is tiny relative to the events it schedules.
+	Runs []CPURun
+}
+
+// CheckRuns validates that the schedule covers the event stream exactly and
+// names only CPUs in range.
+func (mt *MultiTrace) CheckRuns() error {
+	if mt.CPUs < 1 {
+		return fmt.Errorf("trace: multi-trace with %d CPUs", mt.CPUs)
+	}
+	total := 0
+	for _, r := range mt.Runs {
+		if r.CPU < 0 || r.CPU >= mt.CPUs {
+			return fmt.Errorf("trace: run names CPU %d of %d", r.CPU, mt.CPUs)
+		}
+		if r.Events <= 0 {
+			return fmt.Errorf("trace: run with %d events", r.Events)
+		}
+		total += r.Events
+	}
+	if n := mt.NumEvents(); total != n {
+		return fmt.Errorf("trace: CPU schedule covers %d of %d events", total, n)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"testing"
+
+	"oslayout/internal/trace"
+)
+
+// multiOpt is the test grid's interleaving shape: small enough that every
+// workload's merged stream builds in milliseconds, jittered (granularity 3)
+// so run lengths actually vary.
+var multiOpt = InterleaveOptions{CPUs: 3, Granularity: 3, Seed: 0}
+
+// TestInterleaveDeterminism is the tentpole's reproducibility guarantee:
+// the same seeds produce a byte-identical merged stream and CPU schedule on
+// every regeneration — materialised or header-only, at any chunk size.
+func TestInterleaveDeterminism(t *testing.T) {
+	k := testKernel(t)
+	for _, w := range Paper() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			opt := Options{Seed: 21, OSRefs: 60_000}
+			want, _, err := GenerateMulti(k, w, opt, multiOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := want.CheckRuns(); err != nil {
+				t.Fatal(err)
+			}
+			// Regenerate materialised: byte-identical events and runs.
+			again, _, err := GenerateMulti(k, w, opt, multiOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(again.Events) != len(want.Events) {
+				t.Fatalf("regeneration: %d events, want %d", len(again.Events), len(want.Events))
+			}
+			for i := range want.Events {
+				if again.Events[i] != want.Events[i] {
+					t.Fatalf("regeneration: event %d differs", i)
+				}
+			}
+			if len(again.Runs) != len(want.Runs) {
+				t.Fatalf("regeneration: %d runs, want %d", len(again.Runs), len(want.Runs))
+			}
+			for i := range want.Runs {
+				if again.Runs[i] != want.Runs[i] {
+					t.Fatalf("regeneration: run %d = %+v, want %+v", i, again.Runs[i], want.Runs[i])
+				}
+			}
+
+			// Header-only: the reopened stream drains to the same bytes, on
+			// every reopen, at several chunk sizes.
+			for _, chunk := range []int{1, 777, len(want.Events) + 1} {
+				o := opt
+				o.ChunkEvents = chunk
+				ms, err := NewMultiSource(k, w, o, multiOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ht, err := ms.Trace()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ht.CheckRuns(); err != nil {
+					t.Fatal(err)
+				}
+				if len(ht.Runs) != len(want.Runs) {
+					t.Fatalf("chunk %d: %d runs, want %d", chunk, len(ht.Runs), len(want.Runs))
+				}
+				for i := range want.Runs {
+					if ht.Runs[i] != want.Runs[i] {
+						t.Fatalf("chunk %d: run %d differs", chunk, i)
+					}
+				}
+				for pass := 0; pass < 2; pass++ {
+					got := readAll(t, ht.Chunks())
+					if len(got) != len(want.Events) {
+						t.Fatalf("chunk %d pass %d: %d events, want %d", chunk, pass, len(got), len(want.Events))
+					}
+					for i := range got {
+						if got[i] != want.Events[i] {
+							t.Fatalf("chunk %d pass %d: event %d differs", chunk, pass, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInterleavePreservesPerCPUSubsequences checks the merge model's core
+// property: splitting the merged stream by its run schedule recovers each
+// CPU's own single-CPU trace exactly — interleaving reorders across CPUs,
+// never within one.
+func TestInterleavePreservesPerCPUSubsequences(t *testing.T) {
+	k := testKernel(t)
+	w := Paper()[1] // TRFD+Make: OS and app segments
+	mt, _, err := GenerateMulti(k, w, Options{Seed: 21, OSRefs: 60_000}, multiOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := make([][]trace.Event, mt.CPUs)
+	pos := 0
+	for _, run := range mt.Runs {
+		split[run.CPU] = append(split[run.CPU], mt.Events[pos:pos+run.Events]...)
+		pos += run.Events
+	}
+	ms, err := NewMultiSource(k, w, Options{Seed: 21, OSRefs: 60_000}, multiOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < mt.CPUs; cpu++ {
+		own, err := ms.Source(cpu).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(split[cpu]) != len(own.Events) {
+			t.Fatalf("cpu %d: %d merged events, want %d", cpu, len(split[cpu]), len(own.Events))
+		}
+		for i := range own.Events {
+			if split[cpu][i] != own.Events[i] {
+				t.Fatalf("cpu %d: event %d differs from the CPU's own trace", cpu, i)
+			}
+		}
+	}
+}
+
+// TestInterleaveBoundaries checks that the merge respects OS-invocation
+// boundaries: within every run, Begin/End markers nest properly, so a CPU
+// switch never lands inside an invocation.
+func TestInterleaveBoundaries(t *testing.T) {
+	k := testKernel(t)
+	mt, _, err := GenerateMulti(k, Paper()[3], Options{Seed: 21, OSRefs: 60_000}, multiOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for ri, run := range mt.Runs {
+		depth := 0
+		for _, e := range mt.Events[pos : pos+run.Events] {
+			switch {
+			case e.IsBegin():
+				depth++
+			case e.IsEnd():
+				depth--
+			}
+			if depth < 0 {
+				t.Fatalf("run %d: End without Begin", ri)
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("run %d (cpu %d): CPU switch inside an OS invocation (depth %d)", ri, run.CPU, depth)
+		}
+		pos += run.Events
+	}
+}
+
+// TestInterleaveSingleCPU checks the degenerate merge: one CPU's multi
+// trace is that CPU's single trace with one trivial schedule.
+func TestInterleaveSingleCPU(t *testing.T) {
+	k := testKernel(t)
+	w := Paper()[0]
+	opt := Options{Seed: 21, OSRefs: 60_000}
+	mt, _, err := GenerateMulti(k, w, opt, InterleaveOptions{CPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := Generate(k, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Events) != len(single.Events) {
+		t.Fatalf("%d events, want %d", len(mt.Events), len(single.Events))
+	}
+	for i := range single.Events {
+		if mt.Events[i] != single.Events[i] {
+			t.Fatalf("event %d differs from the single-CPU trace", i)
+		}
+	}
+	var runEvents int
+	for _, r := range mt.Runs {
+		if r.CPU != 0 {
+			t.Fatalf("run on cpu %d in a 1-CPU trace", r.CPU)
+		}
+		runEvents += r.Events
+	}
+	if runEvents != len(single.Events) {
+		t.Fatalf("schedule covers %d events, want %d", runEvents, len(single.Events))
+	}
+}

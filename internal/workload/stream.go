@@ -33,6 +33,14 @@ type Source struct {
 // NewSource validates the workload against the kernel and returns a
 // reopenable trace source.
 func NewSource(k *kernelgen.Kernel, w Workload, opt Options) (*Source, error) {
+	return newSource(k, w, opt, nil)
+}
+
+// newSource is NewSource with an optional pre-built application image, so
+// the per-CPU sources of a MultiSource can share one image: layouts and
+// stream caches key on program pointers, and the paper's CPUs run one
+// kernel and one application binary.
+func newSource(k *kernelgen.Kernel, w Workload, opt Options, app *appgen.App) (*Source, error) {
 	opt.fill()
 	// Validate dispatch wiring and the class mix up front, so Open cannot
 	// fail. newSelector draws nothing from its rng at construction, so a
@@ -47,8 +55,8 @@ func NewSource(k *kernelgen.Kernel, w Workload, opt Options) (*Source, error) {
 	if total == 0 {
 		return nil, fmt.Errorf("workload %s: empty class mix", w.Name)
 	}
-	s := &Source{k: k, w: w, opt: opt}
-	if w.HasApp() {
+	s := &Source{k: k, w: w, opt: opt, app: app}
+	if s.app == nil && w.HasApp() {
 		s.app = w.BuildApp()
 	}
 	return s, nil
@@ -83,6 +91,25 @@ func (s *Source) Trace() (*trace.Trace, error) {
 	t := &trace.Trace{Name: s.w.Name, OS: s.k.Prog, Source: s.Open, Total: tot}
 	if s.app != nil {
 		t.App = s.app.Prog
+	}
+	return t, nil
+}
+
+// Generate materialises the source's full event sequence into a trace. It
+// drains the same generator Open reopens, so the materialised and streamed
+// sequences are identical by construction; the result shares the source's
+// application image.
+func (s *Source) Generate() (*trace.Trace, error) {
+	t := &trace.Trace{Name: s.w.Name, OS: s.k.Prog}
+	if s.app != nil {
+		t.App = s.app.Prog
+	}
+	g := s.generator()
+	var err error
+	for !g.done {
+		if t.Events, err = g.step(t.Events); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }

@@ -273,16 +273,9 @@ func Generate(k *kernelgen.Kernel, w Workload, opt Options) (*trace.Trace, *appg
 	if err != nil {
 		return nil, nil, err
 	}
-	t := &trace.Trace{Name: w.Name, OS: k.Prog}
-	if s.app != nil {
-		t.App = s.app.Prog
-	}
-	g := s.generator()
-	for !g.done {
-		t.Events, err = g.step(t.Events)
-		if err != nil {
-			return nil, nil, err
-		}
+	t, err := s.Generate()
+	if err != nil {
+		return nil, nil, err
 	}
 	return t, s.app, nil
 }

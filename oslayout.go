@@ -248,6 +248,21 @@ type Study struct {
 // chunked constant-memory pipeline rather than from materialised events.
 func (s *Study) Streaming() bool { return s.streaming }
 
+// WorkloadTraceOptions returns the effective trace-generation options of
+// workload i, including the per-workload seed NewStudy resolved — the base
+// multiprocessor extensions derive their per-CPU walker seeds from.
+func (s *Study) WorkloadTraceOptions(i int) TraceOptions {
+	to := s.traceOpts
+	if to.Seed == 0 {
+		to.Seed = workloadTraceSeed(i)
+	}
+	return to
+}
+
+// workloadTraceSeed is workload i's default trace seed (strided so
+// workloads draw disjoint walker seed families).
+func workloadTraceSeed(i int) int64 { return int64(7001 + 13*i) }
+
 // NewStudy builds the kernel, traces every workload, profiles the traces and
 // computes the averaged kernel profile.
 func NewStudy(opts StudyOptions) (*Study, error) {
@@ -273,7 +288,7 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 	for i, w := range opts.Workloads {
 		to := opts.Trace
 		if to.Seed == 0 {
-			to.Seed = int64(7001 + 13*i)
+			to.Seed = workloadTraceSeed(i)
 		}
 		traceDone := rec.Span("trace." + w.Name)
 		generate := workload.Generate
