@@ -1,0 +1,195 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"oslayout"
+	"oslayout/internal/expt"
+	"oslayout/internal/obs"
+	"oslayout/internal/runstore"
+	"oslayout/internal/serve"
+)
+
+// benchExperiments is the experiment sweep timed by the run_many benchmark,
+// mirroring BenchmarkRunMany in bench_test.go.
+var benchExperiments = []string{"table1", "table2", "table3", "table4"}
+
+// runBench executes the bench subcommand: the canonical benchmark set —
+// the table sweep on a shared study (run_many), a compare grid cold and
+// warm (fresh vs pooled compiled streams), and the streamed pipeline —
+// repeated N times. With -record the medians, spread and result digests
+// are archived as a "bench" record, making the perf trajectory first-class
+// instead of hand-pasted into BENCH_*.json.
+func runBench(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oslayout bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir        = fs.String("dir", "", "run archive directory (required with -record)")
+		record     = fs.Bool("record", false, "archive the medians, spread and digests as a bench record")
+		n          = fs.Int("n", 3, "repetitions per benchmark; the spread feeds the diff noise band")
+		refs       = fs.String("refs", "500k", "OS references per workload for the table and compare benchmarks")
+		streamRefs = fs.String("streamrefs", "50m", "OS references for the streamed-pipeline benchmark")
+		seed       = fs.Int64("seed", 0, "kernel generation seed override (0 = default 1995)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: oslayout bench [-record -dir <archive>] [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("bench takes no positional arguments (got %v)", fs.Args())
+	}
+	if *record && *dir == "" {
+		return fmt.Errorf("bench: -record requires -dir")
+	}
+	if *n < 1 {
+		return fmt.Errorf("bench: -n must be >= 1 (got %d)", *n)
+	}
+	refCount, err := serve.ParseRefs(*refs)
+	if err != nil {
+		return err
+	}
+	streamCount, err := serve.ParseRefs(*streamRefs)
+	if err != nil {
+		return fmt.Errorf("bad -streamrefs: %w", err)
+	}
+
+	rec := oslayout.NewRecorder()
+	digests := map[string]string{}
+	samples := []runstore.BenchSample{
+		{Name: "run_many", Note: fmt.Sprintf("refs=%d experiments=%s", refCount, strings.Join(benchExperiments, ","))},
+		{Name: "compare_cold", Note: fmt.Sprintf("refs=%d strategies=base,opts sizes=4k,8k", refCount)},
+		{Name: "compare_warm", Note: fmt.Sprintf("refs=%d strategies=base,opts sizes=4k,8k", refCount)},
+		{Name: "stream", Note: fmt.Sprintf("refs=%d chunked pipeline, table2", streamCount)},
+	}
+	byName := map[string]*runstore.BenchSample{}
+	for i := range samples {
+		byName[samples[i].Name] = &samples[i]
+	}
+	timeIt := func(name string, f func() error) error {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		byName[name].NsPerOp = append(byName[name].NsPerOp, float64(time.Since(t0).Nanoseconds()))
+		return nil
+	}
+
+	// run_many shares one study across repetitions — the steady-state cost
+	// of evaluating experiments, not of building the world.
+	env, err := expt.NewEnv(expt.Options{OSRefs: refCount, KernelSeed: *seed, Recorder: rec})
+	if err != nil {
+		return fmt.Errorf("building study: %w", err)
+	}
+	for rep := 0; rep < *n; rep++ {
+		err := timeIt("run_many", func() error {
+			for _, name := range benchExperiments {
+				r, err := expt.Run(env, name)
+				if err != nil {
+					return err
+				}
+				digests[name] = oslayout.Digest(r.Render())
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// compare cold vs warm: cold pays layout construction and stream
+	// compilation on a fresh study; warm replays the pooled streams.
+	stratList := []string{"base", "opts"}
+	sizeList := []int{4 << 10, 8 << 10}
+	for rep := 0; rep < *n; rep++ {
+		cenv, err := expt.NewEnv(expt.Options{OSRefs: refCount, KernelSeed: *seed})
+		if err != nil {
+			return fmt.Errorf("building compare study: %w", err)
+		}
+		compareOnce := func() error {
+			c, err := cenv.RunCompareOpts(stratList, sizeList, 32, 1, expt.CompareOptions{})
+			if err != nil {
+				return err
+			}
+			digests["compare"] = oslayout.Digest(c.Render())
+			return nil
+		}
+		if err := timeIt("compare_cold", compareOnce); err != nil {
+			return err
+		}
+		if err := timeIt("compare_warm", compareOnce); err != nil {
+			return err
+		}
+	}
+
+	// stream: the constant-memory chunked pipeline at its own (large) ref
+	// count, fresh study each repetition so trace generation is included.
+	for rep := 0; rep < *n; rep++ {
+		err := timeIt("stream", func() error {
+			senv, err := expt.NewEnv(expt.Options{
+				OSRefs: streamCount, KernelSeed: *seed, Stream: oslayout.StreamOn,
+			})
+			if err != nil {
+				return err
+			}
+			r, err := expt.Run(senv, "table2")
+			if err != nil {
+				return err
+			}
+			digests["stream_table2"] = oslayout.Digest(r.Render())
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	for i := range samples {
+		samples[i].Summarize()
+		s := &samples[i]
+		fmt.Fprintf(stdout, "%-14s n=%d median %12.0fns  min %12.0fns  max %12.0fns  (%s)\n",
+			s.Name, s.N, s.MedianNs, s.MinNs, s.MaxNs, s.Note)
+	}
+
+	if !*record {
+		return nil
+	}
+	seedVal := *seed
+	if seedVal == 0 {
+		seedVal = oslayout.DefaultKernelConfig().Seed
+	}
+	flags := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+	m := &obs.Manifest{
+		Command:            "oslayout bench " + strings.Join(args, " "),
+		Flags:              flags,
+		Seed:               seedVal,
+		Refs:               refCount,
+		Phases:             rec.Phases(),
+		Counters:           rec.Counters(),
+		ReplayEventsPerSec: rec.EventsPerSec(),
+		Results:            digests,
+		Provenance:         obs.CollectProvenance(),
+	}
+	store, err := runstore.Open(*dir)
+	if err != nil {
+		return err
+	}
+	id, err := store.Put(&runstore.Record{
+		Kind:        "bench",
+		CreatedUnix: time.Now().Unix(),
+		Manifest:    *m,
+		Bench:       samples,
+	})
+	if err != nil {
+		return fmt.Errorf("archiving bench record: %w", err)
+	}
+	fmt.Fprintf(stderr, "[archived bench record %s to %s]\n", id[:12], *dir)
+	return nil
+}

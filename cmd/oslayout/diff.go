@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"oslayout/internal/runstore"
+)
+
+// runDiff executes the diff subcommand: compare two archived runs and
+// report digest drift, miss-rate cell movement, and phase/bench timing
+// deltas against the noise band. With -gate a regressed diff is an error,
+// so the command exits non-zero — the CI regression gate.
+func runDiff(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oslayout diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir        = fs.String("dir", "", "run archive directory (required)")
+		gate       = fs.Bool("gate", false, "exit non-zero when the diff shows a regression")
+		jsonOut    = fs.Bool("json", false, "emit the diff as JSON instead of text")
+		floor      = fs.Float64("floor", 0, "phase-timing band floor in ms (0 = default 250)")
+		relband    = fs.Float64("relband", 0, "relative phase-timing band (0 = default 0.5)")
+		spreadmult = fs.Float64("spreadmult", 0, "benchmark band as a multiple of the recorded spread (0 = default 3)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: oslayout diff -dir <archive> [flags] <runA> <runB>
+
+runA is the baseline, runB the candidate. Refs: a full run ID, a unique
+prefix, "latest", or "latest~N". Digest drift always fails the gate;
+timing deltas fail only beyond the noise band, and only when both runs
+share provenance (same host, platform, toolchain).
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("diff: -dir is required")
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff takes exactly two run refs (got %v)", fs.Args())
+	}
+	store, err := runstore.Open(*dir)
+	if err != nil {
+		return err
+	}
+	a, err := store.Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := store.Get(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := runstore.Compare(a, b, runstore.DiffOptions{
+		FloorMs: *floor, RelBand: *relband, SpreadMult: *spreadmult,
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	} else {
+		io.WriteString(stdout, d.Render())
+	}
+	if *gate && d.Regressed {
+		return fmt.Errorf("diff gate: regression detected (%s .. %s)", d.A[:12], d.B[:12])
+	}
+	return nil
+}
+
+// runRuns executes the runs subcommand: list the archive, newest first.
+func runRuns(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oslayout runs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "run archive directory (required)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: oslayout runs -dir <archive>\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("runs: -dir is required")
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("runs takes no positional arguments (got %v)", fs.Args())
+	}
+	store, err := runstore.Open(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := store.List()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(stdout, "archive is empty")
+		return nil
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		fmt.Fprintf(stdout, "%s  %-7s %s  %6dB  %s\n",
+			e.ID[:12], e.Kind,
+			time.Unix(e.CreatedUnix, 0).UTC().Format(time.RFC3339),
+			e.Bytes, e.Command)
+	}
+	return nil
+}

@@ -11,6 +11,9 @@
 //	oslayout strategies                list registered layout strategies
 //	oslayout compare [flags]           evaluate strategies over a size grid
 //	oslayout serve [flags]             HTTP daemon: jobs, metrics, SSE, pprof
+//	oslayout diff [flags] <a> <b>      compare two archived runs (-gate for CI)
+//	oslayout runs -dir <archive>       list the run archive
+//	oslayout bench [flags]             run the canonical benchmark set
 //
 // Paper experiments: table1-table4, fig1-fig8, fig12-fig18. Extensions:
 // fig18x (way-partition policies), fig19 (shared-cache multiprocessor
@@ -59,11 +62,19 @@ func main() {
 
 // run executes the CLI; factored out of main for testing.
 func run(args []string, stdout, stderr io.Writer) error {
-	if len(args) > 0 && args[0] == "compare" {
-		return runCompare(args[1:], stdout, stderr)
-	}
-	if len(args) > 0 && args[0] == "serve" {
-		return runServe(args[1:], stdout, stderr)
+	if len(args) > 0 {
+		switch args[0] {
+		case "compare":
+			return runCompare(args[1:], stdout, stderr)
+		case "serve":
+			return runServe(args[1:], stdout, stderr)
+		case "diff":
+			return runDiff(args[1:], stdout, stderr)
+		case "runs":
+			return runRuns(args[1:], stdout, stderr)
+		case "bench":
+			return runBench(args[1:], stdout, stderr)
+		}
 	}
 	fs := flag.NewFlagSet("oslayout", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -76,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dumpTraces = fs.String("dumptraces", "", "directory to write the captured workload traces to (binary format)")
 		jsonDir    = fs.String("json", "", "directory to additionally write each experiment's result as <name>.json")
 		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
+		archiveDir = fs.String("archive", "", "run archive directory to append this run's record to; defaults to <report>/archive when -report is set")
 		tracePath  = fs.String("trace", "", "file to write the run's phase timings to as Chrome trace_event JSON (chrome://tracing, Perfetto)")
 		par        = fs.Int("par", runtime.GOMAXPROCS(0), "parallelism bound for experiment fan-out and the replay drive pool (1 = fully sequential; results identical at any setting)")
 		cpus       = fs.Int("cpus", 4, "simulated CPU count for the multiprocessor experiments (fig19 and cpus); the paper's machine has 4")
@@ -122,10 +134,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		switch n {
 		case "list", "strategies":
 			return fmt.Errorf("%q must be the only argument: oslayout %s", n, n)
-		case "compare":
-			return fmt.Errorf("compare is a subcommand and must come first: oslayout compare [flags]")
-		case "serve":
-			return fmt.Errorf("serve is a subcommand and must come first: oslayout serve [flags]")
+		case "compare", "serve", "diff", "runs", "bench":
+			return fmt.Errorf("%s is a subcommand and must come first: oslayout %s [flags]", n, n)
 		}
 		if n == "stats" {
 			wantStats = true
@@ -145,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-cpus must be in 1..16 (got %d)", *cpus)
 	}
 	var rec *oslayout.Recorder
-	if *reportDir != "" || *tracePath != "" {
+	if *reportDir != "" || *tracePath != "" || *archiveDir != "" {
 		rec = oslayout.NewRecorder()
 	}
 	start := time.Now()
@@ -196,8 +206,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "[%s in %v]\n", n, time.Since(t0).Round(time.Millisecond))
 		}
 	}
-	if *reportDir != "" {
-		if err := writeManifest(*reportDir, "oslayout "+strings.Join(args, " "), fs, env, rec, results); err != nil {
+	if *reportDir != "" || *archiveDir != "" {
+		m, err := buildManifest("oslayout "+strings.Join(args, " "), fs, env, rec, results)
+		if err != nil {
+			return err
+		}
+		if *reportDir != "" {
+			if err := m.Write(*reportDir); err != nil {
+				return err
+			}
+		}
+		dir := *archiveDir
+		if dir == "" {
+			dir = filepath.Join(*reportDir, "archive")
+		}
+		if err := archiveRecord(dir, "report", m, conflictCells(m.Conflicts), stderr); err != nil {
 			return err
 		}
 	}
@@ -228,6 +251,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		detail     = fs.Bool("detail", false, "print per-strategy conflict attribution next to the miss rates")
 		part       = fs.String("partition", "", "way-partition policy applied to every cell, e.g. 'static', 'interval,every=4,grain=1', 'missdriven,os=5,app=3' (see 'oslayout run fig18x' for the scenario sweep)")
 		reportDir  = fs.String("report", "", "directory to write a run manifest (manifest.json): phase timings, result digests, conflict attribution")
+		archiveDir = fs.String("archive", "", "run archive directory to append this run's record to; defaults to <report>/archive when -report is set")
 		par        = fs.Int("par", runtime.GOMAXPROCS(0), "parallelism bound for grid fan-out and the replay drive pool (1 = fully sequential; results identical at any setting)")
 		cpus       = fs.Int("cpus", 1, "simulated CPUs sharing each cell's cache (1 = classic single-CPU grid; above 1 the per-CPU traces are interleaved into one shared cache)")
 	)
@@ -272,7 +296,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-cpus must be in 1..16 (got %d)", *cpus)
 	}
 	var rec *oslayout.Recorder
-	if *reportDir != "" {
+	if *reportDir != "" || *archiveDir != "" {
 		rec = oslayout.NewRecorder()
 	}
 	start := time.Now()
@@ -306,18 +330,32 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
-	if *reportDir != "" {
+	if *reportDir != "" || *archiveDir != "" {
 		results := map[string]string{"compare": oslayout.Digest(rendered)}
-		return writeManifest(*reportDir, "oslayout compare "+strings.Join(args, " "), fs, env, rec, results)
+		m, err := buildManifest("oslayout compare "+strings.Join(args, " "), fs, env, rec, results)
+		if err != nil {
+			return err
+		}
+		if *reportDir != "" {
+			if err := m.Write(*reportDir); err != nil {
+				return err
+			}
+		}
+		dir := *archiveDir
+		if dir == "" {
+			dir = filepath.Join(*reportDir, "archive")
+		}
+		return archiveRecord(dir, "report", m, compareCells(c), stderr)
 	}
 	return nil
 }
 
-// writeManifest assembles and writes the run manifest: the effective flag
-// values, the recorder's phase timings and counters, the digest of every
-// rendered result, and the conflict attribution of each workload replayed
-// under the Base layout at the reference cache organisation.
-func writeManifest(dir, command string, fs *flag.FlagSet, env *expt.Env, rec *oslayout.Recorder, results map[string]string) error {
+// buildManifest assembles the run manifest: the effective flag values, the
+// recorder's phase timings and counters, the digest of every rendered
+// result, the conflict attribution of each workload replayed under the Base
+// layout at the reference cache organisation, and the run's provenance.
+// The caller writes it (-report) and/or archives it (-archive).
+func buildManifest(command string, fs *flag.FlagSet, env *expt.Env, rec *oslayout.Recorder, results map[string]string) (*obs.Manifest, error) {
 	flags := make(map[string]string)
 	fs.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
 	seed, _ := strconv.ParseInt(flags["seed"], 10, 64)
@@ -327,9 +365,9 @@ func writeManifest(dir, command string, fs *flag.FlagSet, env *expt.Env, rec *os
 	refs, _ := serve.ParseRefs(flags["refs"])
 	conflicts, err := conflictReports(env, rec)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	m := &obs.Manifest{
+	return &obs.Manifest{
 		Command:            command,
 		Flags:              flags,
 		Seed:               seed,
@@ -339,8 +377,8 @@ func writeManifest(dir, command string, fs *flag.FlagSet, env *expt.Env, rec *os
 		ReplayEventsPerSec: rec.EventsPerSec(),
 		Results:            results,
 		Conflicts:          conflicts,
-	}
-	return m.Write(dir)
+		Provenance:         obs.CollectProvenance(),
+	}, nil
 }
 
 // conflictReports replays every workload under the kernel's Base layout at

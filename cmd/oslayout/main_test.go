@@ -520,6 +520,162 @@ func TestRunTraceExport(t *testing.T) {
 	}
 }
 
+// TestRunArchiveRoundTrip drives the run archive end to end through the
+// CLI: two identical runs archive two distinct records, the diff gate
+// passes on the re-run, a seed perturbation makes the gate fail on digest
+// drift, and `runs` lists all of it newest first.
+func TestRunArchiveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	for i := 0; i < 2; i++ {
+		out.Reset()
+		errb.Reset()
+		if err := run([]string{"-refs", "120000", "-archive", dir, "table1"}, &out, &errb); err != nil {
+			t.Fatalf("archived run %d: %v\nstderr: %s", i, err, errb.String())
+		}
+		if !strings.Contains(errb.String(), "[archived run ") {
+			t.Fatalf("run %d printed no archive notice:\n%s", i, errb.String())
+		}
+	}
+
+	// Same-commit re-run: identical digests, so the gate passes.
+	out.Reset()
+	if err := run([]string{"diff", "-dir", dir, "-gate", "latest~1", "latest"}, &out, &errb); err != nil {
+		t.Fatalf("gate failed on identical re-run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verdict: pass") {
+		t.Errorf("diff output missing pass verdict:\n%s", out.String())
+	}
+
+	// Perturbed run: a different kernel seed drifts every digest, which the
+	// gate must catch regardless of timing noise.
+	if err := run([]string{"-refs", "120000", "-seed", "7", "-archive", dir, "table1"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := run([]string{"diff", "-dir", dir, "-gate", "latest~1", "latest"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "regression detected") {
+		t.Fatalf("gate passed across digest drift: err = %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "DRIFT") || !strings.Contains(out.String(), "verdict: REGRESSED") {
+		t.Errorf("diff output missing drift report:\n%s", out.String())
+	}
+
+	// -json emits a decodable Diff.
+	out.Reset()
+	_ = run([]string{"diff", "-dir", dir, "-json", "latest~1", "latest"}, &out, &errb)
+	var d struct {
+		Regressed   bool `json:"regressed"`
+		DigestDrift []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+		} `json:"digest_drift"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("diff -json invalid: %v\n%s", err, out.String())
+	}
+	if !d.Regressed || len(d.DigestDrift) == 0 {
+		t.Errorf("diff -json = %+v, want regressed with drift", d)
+	}
+
+	// runs lists all three records newest first.
+	out.Reset()
+	if err := run([]string{"runs", "-dir", dir}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("runs listed %d records, want 3:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "-seed 7") {
+		t.Errorf("newest record is not the perturbed run:\n%s", out.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "report") || !strings.Contains(line, "table1") {
+			t.Errorf("runs line missing kind or command: %q", line)
+		}
+	}
+}
+
+// TestRunArchiveStdoutBitIdentical: enabling archiving must not perturb the
+// experiment's stdout — notices go to stderr.
+func TestRunArchiveStdoutBitIdentical(t *testing.T) {
+	var plain, archived, errb bytes.Buffer
+	if err := run([]string{"-refs", "120000", "table1"}, &plain, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-refs", "120000", "-archive", t.TempDir(), "table1"}, &archived, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != archived.String() {
+		t.Error("archiving changed the experiment's stdout")
+	}
+}
+
+// TestRunReportDefaultsArchive: -report alone archives into <report>/archive.
+func TestRunReportDefaultsArchive(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if err := run([]string{"-refs", "120000", "-report", dir, "table3"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"runs", "-dir", filepath.Join(dir, "archive")}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "archive is empty") || !strings.Contains(out.String(), "table3") {
+		t.Errorf("-report did not archive into <report>/archive:\n%s", out.String())
+	}
+}
+
+// TestRunBenchRecord runs the benchmark set once at tiny ref counts and
+// checks the bench record lands in the archive with per-sample medians.
+func TestRunBenchRecord(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	err := run([]string{"bench", "-n", "1", "-refs", "100k", "-streamrefs", "100k",
+		"-record", "-dir", dir}, &out, &errb)
+	if err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{"run_many", "compare_cold", "compare_warm", "stream", "median"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bench output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "[archived bench record ") {
+		t.Errorf("bench -record printed no archive notice:\n%s", errb.String())
+	}
+	out.Reset()
+	if err := run([]string{"runs", "-dir", dir}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bench") {
+		t.Errorf("archive has no bench record:\n%s", out.String())
+	}
+}
+
+func TestRunDiffBenchBadInput(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"diff", "latest~1", "latest"},              // missing -dir
+		{"diff", "-dir", dir, "latest"},             // one ref
+		{"diff", "-dir", dir, "latest~1", "latest"}, // empty archive
+		{"runs"},                            // missing -dir
+		{"runs", "-dir", dir, "positional"}, // positional args
+		{"bench", "-record"},                // -record without -dir
+		{"bench", "-n", "0"},                // bad repetition count
+		{"bench", "-refs", "0"},             // bad refs
+		{"bench", "positional"},             // positional args
+		{"table1", "diff"},                  // subcommand mixed into experiments
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
 // TestRunServeRouting checks the serve subcommand's arg handling without
 // binding a socket.
 func TestRunServeRouting(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"strings"
 
+	"oslayout/internal/runstore"
 	"oslayout/internal/serve"
 )
 
@@ -26,6 +27,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		maxJobs = fs.Int("maxjobs", 64, "retained job table size; oldest finished jobs are evicted past it")
 		par     = fs.Int("par", runtime.GOMAXPROCS(0), "default per-job parallelism bound (fan-out + replay drive pool); job specs override with \"par\"")
 		budget  = fs.String("streambudget", "1g", "retained-trace memory budget (k/m/g suffixes): jobs projecting a larger materialised footprint stream instead, and stream=off jobs past it are rejected")
+		archive = fs.String("archive", "", "run archive directory: every completed job is recorded there and /api/runs, /api/diff and /dash come alive")
+		arcMax  = fs.String("archivebudget", "256m", "archive size budget (k/m/g suffixes): oldest run records are evicted past it")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, `usage: oslayout serve [flags]
@@ -37,6 +40,10 @@ endpoints:
   GET  /api/jobs/{id}         job status (rendered results once done)
   GET  /api/jobs/{id}/events  SSE progress stream
   GET  /api/jobs/{id}/trace   Chrome trace_event JSON of the job's phases
+  GET  /api/runs              list the run archive (with -archive)
+  GET  /api/runs/{ref}        one archived record ("latest", id prefix)
+  GET  /api/diff?a=&b=        diff two archived runs (&gate=1: 409 on regression)
+  GET  /dash                  HTML dashboard: perf trajectory, sparklines
   GET  /metrics               Prometheus text exposition
   GET  /healthz               liveness
   GET  /debug/pprof/          runtime profiling
@@ -59,7 +66,22 @@ flags:
 	if budgetBytes > math.MaxInt64 {
 		return fmt.Errorf("bad -streambudget: %q overflows", *budget)
 	}
-	s := serve.New(serve.Config{Workers: *workers, MaxJobs: *maxJobs, DrivePar: *par, StreamBudgetBytes: int64(budgetBytes)})
+	var store *runstore.Store
+	if *archive != "" {
+		arcBytes, err := serve.ParseRefs(*arcMax)
+		if err != nil {
+			return fmt.Errorf("bad -archivebudget: %w", err)
+		}
+		if arcBytes > math.MaxInt64 {
+			return fmt.Errorf("bad -archivebudget: %q overflows", *arcMax)
+		}
+		store, err = runstore.Open(*archive)
+		if err != nil {
+			return err
+		}
+		store.SetMaxBytes(int64(arcBytes))
+	}
+	s := serve.New(serve.Config{Workers: *workers, MaxJobs: *maxJobs, DrivePar: *par, StreamBudgetBytes: int64(budgetBytes), Archive: store})
 	defer s.Close()
 
 	// Listen before announcing, so ":0" prints the resolved port and a

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"oslayout/internal/promtest"
+)
+
+// buildExpositionRegistry assembles a registry exercising every exposition
+// feature: unlabelled and labelled counters, gauges with labels needing
+// escaping, a multi-child family, and histograms with explicit buckets.
+func buildExpositionRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Total jobs.").Add(7)
+	r.Counter("evil_total", "Labels with every escape.", "path", `C:\tmp`, "msg", "line1\nline2", "q", `say "hi"`).Add(2)
+	for _, w := range []string{"Shell", "TRFD_4", "Compress"} {
+		r.Gauge("miss_rate", "Miss rate.", "workload", w, "strategy", "opts").Set(0.01)
+	}
+	h := r.Histogram("phase_seconds", "Phase durations.", []float64{0.1, 1, 10}, "phase", "replay")
+	for _, v := range []float64{0.05, 0.5, 2, 20, 200} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestExpositionParses is the format check: the registry's own text output
+// must survive the strict shared parser (promtest), which rejects samples
+// without TYPE declarations, malformed comments and unterminated labels.
+func TestExpositionParses(t *testing.T) {
+	var sb strings.Builder
+	if err := buildExpositionRegistry().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams := promtest.Parse(t, sb.String())
+	for name, typ := range map[string]string{
+		"jobs_total":    "counter",
+		"evil_total":    "counter",
+		"miss_rate":     "gauge",
+		"phase_seconds": "histogram",
+	} {
+		f, ok := fams[name]
+		if !ok {
+			t.Fatalf("family %s missing from exposition:\n%s", name, sb.String())
+		}
+		if f.Type != typ {
+			t.Errorf("%s type %q, want %q", name, f.Type, typ)
+		}
+	}
+}
+
+// TestExpositionLabelEscaping checks the escaping round trip through the
+// parser: backslashes, quotes and newlines in label values must render as
+// \\, \" and \n and still form one sample line.
+func TestExpositionLabelEscaping(t *testing.T) {
+	var sb strings.Builder
+	buildExpositionRegistry().WriteText(&sb)
+	fams := promtest.Parse(t, sb.String())
+	want := `evil_total{msg="line1\nline2",path="C:\\tmp",q="say \"hi\""}`
+	f := fams["evil_total"]
+	if v, ok := f.Samples[want]; !ok || v != 2 {
+		t.Errorf("escaped sample %q = %v (present %v) in %v", want, v, ok, f.Samples)
+	}
+}
+
+// TestExpositionStableOrder checks determinism: repeated scrapes are
+// byte-identical, families appear sorted by name, and a family's children
+// appear sorted by their rendered label string — so scrapes can be diffed.
+func TestExpositionStableOrder(t *testing.T) {
+	r := buildExpositionRegistry()
+	var a, b strings.Builder
+	r.WriteText(&a)
+	r.WriteText(&b)
+	if a.String() != b.String() {
+		t.Fatal("two consecutive expositions differ")
+	}
+	var lastFam string
+	var lastChild string
+	for _, line := range strings.Split(a.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if name <= lastFam {
+				t.Errorf("family %q not sorted after %q", name, lastFam)
+			}
+			lastFam = name
+			lastChild = ""
+			continue
+		}
+		if !strings.HasPrefix(line, "miss_rate{") {
+			continue
+		}
+		if line <= lastChild && lastChild != "" {
+			t.Errorf("child %q not sorted after %q", line, lastChild)
+		}
+		lastChild = line
+	}
+}
+
+// TestExpositionHistogramConsistency pins the histogram invariants the text
+// format promises: buckets are cumulative and monotone, the +Inf bucket
+// equals _count, and _sum matches the observations.
+func TestExpositionHistogramConsistency(t *testing.T) {
+	var sb strings.Builder
+	buildExpositionRegistry().WriteText(&sb)
+	fams := promtest.Parse(t, sb.String())
+	f := fams["phase_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("phase_seconds missing or mistyped: %+v", f)
+	}
+	get := func(sample string) float64 {
+		v, ok := f.Samples[sample]
+		if !ok {
+			t.Fatalf("sample %q missing from %v", sample, f.Samples)
+		}
+		return v
+	}
+	prev := -1.0
+	for _, le := range []string{"0.1", "1", "10", "+Inf"} {
+		v := get(`phase_seconds_bucket{phase="replay",le="` + le + `"}`)
+		if v < prev {
+			t.Errorf("bucket le=%s count %v below previous %v — not cumulative", le, v, prev)
+		}
+		prev = v
+	}
+	count := get(`phase_seconds_count{phase="replay"}`)
+	if inf := get(`phase_seconds_bucket{phase="replay",le="+Inf"}`); inf != count {
+		t.Errorf("+Inf bucket %v != _count %v", inf, count)
+	}
+	if count != 5 {
+		t.Errorf("_count = %v, want 5", count)
+	}
+	if sum := get(`phase_seconds_sum{phase="replay"}`); sum != 0.05+0.5+2+20+200 {
+		t.Errorf("_sum = %v, want %v", sum, 0.05+0.5+2+20+200)
+	}
+}
+
+// TestProvenanceCollectAndCompare covers the manifest provenance satellite:
+// collection fills the platform fields, a provenance compares equal to
+// itself, and host/platform mismatches are flagged with a note.
+func TestProvenanceCollectAndCompare(t *testing.T) {
+	p := CollectProvenance()
+	if p.GoVersion == "" || p.GOOS == "" || p.GOARCH == "" || p.GOMAXPROCS < 1 || p.NumCPU < 1 {
+		t.Fatalf("provenance incomplete: %+v", p)
+	}
+	if ok, note := p.ComparableTo(p); !ok || note != "" {
+		t.Errorf("self-comparison = %v %q, want comparable", ok, note)
+	}
+	q := *p
+	q.Hostname = p.Hostname + "-other"
+	if ok, note := p.ComparableTo(&q); ok || !strings.Contains(note, "host") {
+		t.Errorf("host mismatch = %v %q, want incomparable with host note", ok, note)
+	}
+	r := *p
+	r.GOARCH = "wasm"
+	if ok, note := p.ComparableTo(&r); ok || !strings.Contains(note, "platform") {
+		t.Errorf("platform mismatch = %v %q, want incomparable with platform note", ok, note)
+	}
+	if ok, note := p.ComparableTo(nil); !ok || note == "" {
+		t.Errorf("nil comparison = %v %q, want best-effort comparable with note", ok, note)
+	}
+}

@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"strings"
 )
 
 // Manifest is the machine-readable record of one CLI run: what was asked
@@ -33,6 +36,76 @@ type Manifest struct {
 	Results map[string]string `json:"results"`
 	// Conflicts holds per-workload conflict attribution summaries.
 	Conflicts []ConflictReport `json:"conflicts,omitempty"`
+	// Provenance records where the run happened (toolchain, platform,
+	// host), so archived runs can refuse or annotate apples-to-oranges
+	// cross-host comparisons.
+	Provenance *Provenance `json:"provenance,omitempty"`
+}
+
+// Provenance identifies the build and host a run was produced on. Timing
+// comparisons across differing provenance are noise, not regressions; the
+// diff machinery (internal/runstore) annotates them instead of gating.
+type Provenance struct {
+	// GoVersion is runtime.Version() of the binary that ran.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Hostname is the machine the run executed on (empty if unknown).
+	Hostname string `json:"hostname,omitempty"`
+	// GOMAXPROCS and NumCPU pin the parallelism envelope of the run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Git is `git describe --always --dirty` of the working tree, when a
+	// git binary and repository are reachable from the process; empty
+	// otherwise. Informational only — it never gates a diff.
+	Git string `json:"git,omitempty"`
+}
+
+// CollectProvenance snapshots the current process's provenance. The git
+// description is best-effort: any failure (no git binary, not a repository)
+// leaves the field empty rather than erroring.
+func CollectProvenance() *Provenance {
+	p := &Provenance{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		p.Hostname = h
+	}
+	if out, err := exec.Command("git", "describe", "--always", "--dirty").Output(); err == nil {
+		p.Git = strings.TrimSpace(string(out))
+	}
+	return p
+}
+
+// ComparableTo reports whether timings recorded under p can be compared
+// against timings recorded under q, and a note describing the mismatch when
+// they cannot. A nil provenance on either side (records predating the
+// field) is comparable with an annotation.
+func (p *Provenance) ComparableTo(q *Provenance) (ok bool, note string) {
+	if p == nil || q == nil {
+		return true, "provenance missing on one side; timing comparison is best-effort"
+	}
+	var diffs []string
+	if p.GOOS != q.GOOS || p.GOARCH != q.GOARCH {
+		diffs = append(diffs, fmt.Sprintf("platform %s/%s vs %s/%s", p.GOOS, p.GOARCH, q.GOOS, q.GOARCH))
+	}
+	if p.Hostname != q.Hostname {
+		diffs = append(diffs, fmt.Sprintf("host %q vs %q", p.Hostname, q.Hostname))
+	}
+	if p.GoVersion != q.GoVersion {
+		diffs = append(diffs, fmt.Sprintf("toolchain %s vs %s", p.GoVersion, q.GoVersion))
+	}
+	if p.GOMAXPROCS != q.GOMAXPROCS {
+		diffs = append(diffs, fmt.Sprintf("GOMAXPROCS %d vs %d", p.GOMAXPROCS, q.GOMAXPROCS))
+	}
+	if len(diffs) == 0 {
+		return true, ""
+	}
+	return false, "cross-host comparison (" + strings.Join(diffs, "; ") + ")"
 }
 
 // ConflictReport summarises one observed replay: where the misses of one

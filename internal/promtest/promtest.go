@@ -1,0 +1,95 @@
+// Package promtest is a shared test helper: a hand-rolled parser for the
+// Prometheus text exposition format (v0.0.4), strict enough to validate our
+// own registry output without taking a client_model dependency. It grew up
+// inside the serve daemon's tests and is shared by every package that
+// exposes or scrapes metrics (internal/obs, internal/serve).
+package promtest
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Family is one parsed metric family: its declared TYPE and every sample
+// keyed by the full sample name including the rendered label string.
+type Family struct {
+	Type string
+	// Samples maps `name{labels}` (labels omitted when none) to the value.
+	Samples map[string]float64
+}
+
+// Parse parses a text exposition page, failing the test on any malformed
+// line: comments must be well-formed TYPE/HELP declarations, every sample
+// must carry a parseable value and belong to a declared family, and no
+// family may declare its TYPE twice.
+func Parse(t testing.TB, text string) map[string]*Family {
+	t.Helper()
+	fams := map[string]*Family{}
+	fam := func(name string) *Family {
+		f, ok := fams[name]
+		if !ok {
+			f = &Family{Samples: map[string]float64{}}
+			fams[name] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[1] == "TYPE" {
+				f := fam(fields[2])
+				if f.Type != "" {
+					t.Fatalf("line %d: duplicate TYPE for %s", ln+1, fields[2])
+				}
+				f.Type = fields[3]
+			}
+			continue
+		}
+		// Sample: name[{labels}] value. Labels may contain spaces inside
+		// quotes, so split at the last space instead of the first.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		sample, valStr := line[:sp], line[sp+1:]
+		var val float64
+		switch valStr {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+			val = v
+		}
+		name := sample
+		if br := strings.IndexByte(sample, '{'); br >= 0 {
+			name = sample[:br]
+			if !strings.HasSuffix(sample, "}") {
+				t.Fatalf("line %d: unterminated labels %q", ln+1, sample)
+			}
+		}
+		// Histogram series attach to their base family.
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				if f, ok := fams[strings.TrimSuffix(name, suf)]; ok && f.Type == "histogram" {
+					base = strings.TrimSuffix(name, suf)
+				}
+			}
+		}
+		f, ok := fams[base]
+		if !ok || f.Type == "" {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", ln+1, sample)
+		}
+		f.Samples[sample] = val
+	}
+	return fams
+}

@@ -34,6 +34,11 @@ const historyCap = 4096
 // subscribers, keeping a bounded history so a subscriber attaching
 // mid-run (or after completion) still sees the whole story.
 type eventHub struct {
+	// onDrop, when set, is called once per event dropped on a slow
+	// subscriber — the hub's backpressure signal, exported to /metrics.
+	// Set before the first publish; it runs under the hub lock.
+	onDrop func()
+
 	mu      sync.Mutex
 	seq     int
 	history []Event
@@ -61,7 +66,12 @@ func (h *eventHub) publish(e Event) {
 	for ch := range h.subs {
 		select {
 		case ch <- e:
-		default: // slow subscriber: drop rather than stall the job
+		default:
+			// Slow subscriber: drop rather than stall the job. Seq gaps
+			// reveal the loss to the client; onDrop counts it server-side.
+			if h.onDrop != nil {
+				h.onDrop()
+			}
 		}
 	}
 }

@@ -235,6 +235,12 @@ type Manager struct {
 	maxJobs int
 	budget  int64
 
+	// onDrop seeds each job hub's slow-subscriber drop hook; onEvict fires
+	// once per retained job evicted from the table. Both are set (if at
+	// all) right after newManager, before any Submit, and may be nil.
+	onDrop  func()
+	onEvict func()
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string // submission order, for listing and eviction
@@ -299,6 +305,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		rec:     obs.NewRecorder(),
 		events:  newEventHub(),
 	}
+	j.events.onDrop = m.onDrop
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.evictLocked()
@@ -326,6 +333,9 @@ func (m *Manager) evictLocked() {
 			if terminal {
 				delete(m.jobs, id)
 				m.order = append(m.order[:i], m.order[i+1:]...)
+				if m.onEvict != nil {
+					m.onEvict()
+				}
 				evicted = true
 				break
 			}

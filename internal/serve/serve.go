@@ -15,6 +15,11 @@
 //	GET  /api/jobs/{id}         job status; rendered results once done
 //	GET  /api/jobs/{id}/events  SSE progress stream (phases, miss-rate windows)
 //	GET  /api/jobs/{id}/trace   recorder spans as Chrome trace_event JSON
+//	GET  /api/runs              list the run archive (newest first)
+//	GET  /api/runs/{ref}        one archived record ("latest", id prefix, ...)
+//	GET  /api/diff?a=&b=        diff two archived runs; &gate=1 makes a
+//	                            regression a 409
+//	GET  /dash                  HTML dashboard: perf trajectory, sparklines
 //	GET  /metrics               Prometheus text exposition
 //	GET  /healthz               liveness
 //	GET  /debug/pprof/          runtime profiling
@@ -26,12 +31,15 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	"oslayout"
 	"oslayout/internal/expt"
 	"oslayout/internal/obs"
+	"oslayout/internal/runstore"
 )
 
 // Config configures a Server.
@@ -62,6 +70,10 @@ type Config struct {
 	// Registry receives the server's metrics; a fresh one is created when
 	// nil. Exposed at /metrics either way.
 	Registry *obs.Registry
+	// Archive, when non-nil, receives a run record for every successfully
+	// completed job and backs /api/runs, /api/diff and /dash. The caller
+	// opens the store (runstore.Open) and owns its GC budget.
+	Archive *runstore.Store
 }
 
 // Server is the daemon: job manager, metrics registry and HTTP handler.
@@ -73,6 +85,7 @@ type Server struct {
 	drivePar int
 	studies  *studyPool
 	budget   int64
+	archive  *runstore.Store
 
 	jobsStarted   *obs.Counter
 	jobsFinished  *obs.Counter
@@ -87,6 +100,9 @@ type Server struct {
 	windowFlushes *obs.Counter
 	repartitions  *obs.Counter
 	crossEvicts   *obs.Counter
+	sseDropped    *obs.Counter
+	jobsEvicted   *obs.Counter
+	regressions   *obs.Counter
 	phaseSeconds  func(phase string) *obs.Histogram
 	missRateGauge func(strategy, workload, size string) *obs.Gauge
 	partWaysGauge func(region, strategy, workload, size string) *obs.Gauge
@@ -103,7 +119,7 @@ func New(cfg Config) *Server {
 	if budget <= 0 {
 		budget = oslayout.DefaultStreamBudgetBytes
 	}
-	s := &Server{reg: reg, start: time.Now(), drivePar: cfg.DrivePar, studies: newStudyPool(cfg.StudyCache), budget: budget}
+	s := &Server{reg: reg, start: time.Now(), drivePar: cfg.DrivePar, studies: newStudyPool(cfg.StudyCache), budget: budget, archive: cfg.Archive}
 	s.jobsStarted = reg.Counter("oslayout_jobs_started_total", "Jobs accepted for execution.")
 	s.jobsFinished = reg.Counter("oslayout_jobs_finished_total", "Jobs completed successfully.")
 	s.jobsFailed = reg.Counter("oslayout_jobs_failed_total", "Jobs that ended in an error.")
@@ -147,8 +163,40 @@ func New(cfg Config) *Server {
 	}
 	reg.GaugeFunc("oslayout_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	s.sseDropped = reg.Counter("oslayout_sse_dropped_events_total",
+		"Progress events dropped on slow SSE subscribers instead of stalling jobs.")
+	s.jobsEvicted = reg.Counter("oslayout_jobs_evicted_total",
+		"Finished jobs evicted from the retained job table past its bound.")
+	s.regressions = reg.Counter("oslayout_regressions_detected_total",
+		"Archive diffs served by /api/diff whose verdict was a regression.")
+	// Archive gauges are registered unconditionally (0 without a store) so
+	// the exposition is stable across configurations.
+	reg.GaugeFunc("oslayout_archive_runs", "Run records held by the archive.",
+		func() float64 {
+			if s.archive == nil {
+				return 0
+			}
+			runs, _, err := s.archive.Stats()
+			if err != nil {
+				return 0
+			}
+			return float64(runs)
+		})
+	reg.GaugeFunc("oslayout_archive_bytes", "Total object bytes held by the archive.",
+		func() float64 {
+			if s.archive == nil {
+				return 0
+			}
+			_, bytes, err := s.archive.Stats()
+			if err != nil {
+				return 0
+			}
+			return float64(bytes)
+		})
 
 	s.jobs = newManager(cfg.Workers, cfg.MaxJobs, budget, s.runJob)
+	s.jobs.onDrop = s.sseDropped.Inc
+	s.jobs.onEvict = s.jobsEvicted.Inc
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -158,6 +206,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /api/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /api/runs", s.handleRuns)
+	mux.HandleFunc("GET /api/runs/{ref}", s.handleRun)
+	mux.HandleFunc("GET /api/diff", s.handleDiff)
+	mux.HandleFunc("GET /dash", s.handleDash)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -186,25 +238,69 @@ func (s *Server) runJob(j *Job) {
 		j.events.publish(Event{Type: "phase", Phase: &ph})
 	})
 
-	results, err := s.execute(j)
+	results, cells, windows, err := s.execute(j)
 	if err != nil {
 		s.jobsFailed.Inc()
 	} else {
 		s.jobsFinished.Inc()
+		s.archiveJob(j, results, cells, windows)
 	}
 	j.finish(results, err)
 }
 
-// execute runs the job's work and returns the rendered results.
-func (s *Server) execute(j *Job) (map[string]JobResult, error) {
+// archiveJob appends a successful job's record to the configured archive.
+// The record's command is the canonical spec JSON, not the job ID, so two
+// runs of the same spec diff as re-runs of one experiment.
+func (s *Server) archiveJob(j *Job, results map[string]JobResult, cells []runstore.Cell, windows []obs.WindowFlush) {
+	if s.archive == nil {
+		return
+	}
+	spec, err := json.Marshal(j.Spec)
+	if err != nil {
+		return
+	}
+	digests := make(map[string]string, len(results))
+	for name, r := range results {
+		digests[name] = r.Digest
+	}
+	_, err = s.archive.Put(&runstore.Record{
+		Kind:        "serve",
+		CreatedUnix: time.Now().Unix(),
+		Manifest: obs.Manifest{
+			Command:            "serve " + string(spec),
+			Seed:               j.Spec.Seed,
+			Refs:               j.Spec.Refs,
+			Phases:             j.rec.Phases(),
+			Counters:           j.rec.Counters(),
+			ReplayEventsPerSec: j.rec.EventsPerSec(),
+			Results:            digests,
+			Provenance:         obs.CollectProvenance(),
+		},
+		Cells:   cells,
+		Windows: windows,
+	})
+	if err != nil {
+		// Archival is best-effort: a full disk must not fail the job whose
+		// results the client is waiting on.
+		fmt.Fprintf(os.Stderr, "serve: archiving job %s: %v\n", j.ID, err)
+	}
+}
+
+// execute runs the job's work and returns the rendered results, plus the
+// grid cells and windowed miss-rate series the archive record keeps.
+func (s *Server) execute(j *Job) (map[string]JobResult, []runstore.Cell, []obs.WindowFlush, error) {
 	par := j.Spec.Par
 	if par == 0 {
 		par = s.drivePar
 	}
 	stream, err := j.Spec.streamMode()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
+	// Windows accumulate for the archive record; OnWindow fires from the
+	// replay drive pool's goroutines, so appends are locked.
+	var winMu sync.Mutex
+	var windows []obs.WindowFlush
 	opts := expt.Options{
 		OSRefs:            j.Spec.Refs,
 		KernelSeed:        j.Spec.Seed,
@@ -217,6 +313,9 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 		OnWindow: func(f obs.WindowFlush) {
 			s.windowFlushes.Inc()
 			fl := f
+			winMu.Lock()
+			windows = append(windows, fl)
+			winMu.Unlock()
 			j.events.publish(Event{Type: "window", Window: &fl})
 		},
 	}
@@ -234,14 +333,14 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 		})
 		done()
 		if err != nil {
-			return nil, fmt.Errorf("building study: %w", err)
+			return nil, nil, nil, fmt.Errorf("building study: %w", err)
 		}
 		pooled = entry
 		opts.Study = entry.st
 	}
 	env, err := expt.NewEnv(opts)
 	if err != nil {
-		return nil, fmt.Errorf("building study: %w", err)
+		return nil, nil, nil, fmt.Errorf("building study: %w", err)
 	}
 	defer func() {
 		if pooled != nil {
@@ -263,20 +362,25 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 	if c := j.Spec.Compare; c != nil {
 		sizes, err := ParseSizes(c.Sizes)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		grid, err := env.RunCompareOpts(c.Strategies, sizes, c.Line, c.Assoc,
 			expt.CompareOptions{Detail: c.Detail, Partition: c.Partition, CPUs: j.Spec.Cpus})
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		rendered := grid.Render()
 		results["compare"] = JobResult{Digest: obs.Digest(rendered), Rendered: rendered}
+		var cells []runstore.Cell
 		for si, size := range grid.Sizes {
 			sizeLabel := strconv.Itoa(size)
 			for wi, w := range grid.Workloads {
 				for k, name := range grid.Strategies {
 					s.missRateGauge(name, w, sizeLabel).Set(grid.Rates[si][wi][k])
+					cells = append(cells, runstore.Cell{
+						Strategy: name, Workload: w, SizeBytes: size, CPU: -1,
+						MissRate: grid.Rates[si][wi][k],
+					})
 					if grid.PartSplit != nil {
 						sp := grid.PartSplit[si][wi][k]
 						s.partWaysGauge("os", name, w, sizeLabel).Set(float64(sp.OSWays))
@@ -287,25 +391,29 @@ func (s *Server) execute(j *Job) (map[string]JobResult, error) {
 					if grid.CPURates != nil {
 						for cpu, v := range grid.CPURates[si][wi][k] {
 							s.cpuRateGauge(strconv.Itoa(cpu), name, w, sizeLabel).Set(v)
+							cells = append(cells, runstore.Cell{
+								Strategy: name, Workload: w, SizeBytes: size, CPU: cpu,
+								MissRate: v,
+							})
 						}
 						s.crossEvicts.Add(grid.CrossEvictions[si][wi][k])
 					}
 				}
 			}
 		}
-		return results, nil
+		return results, cells, windows, nil
 	}
 	for _, name := range j.Spec.Experiments {
 		done := j.rec.Span("experiment." + name)
 		r, err := expt.Run(env, name)
 		done()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("%s: %w", name, err)
 		}
 		rendered := r.Render()
 		results[name] = JobResult{Digest: obs.Digest(rendered), Rendered: rendered}
 	}
-	return results, nil
+	return results, nil, windows, nil
 }
 
 // JobStatus is the status-endpoint JSON shape.

@@ -7,7 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
+	"oslayout/internal/promtest"
 	"strings"
 	"testing"
 	"time"
@@ -86,87 +86,9 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-// promFamily is one parsed metric family from the text exposition.
-type promFamily struct {
-	typ     string
-	samples map[string]float64 // full sample name incl. labels -> value
-}
-
-// parseProm is a hand-rolled parser for the Prometheus text exposition
-// format — enough of it to validate our own output without a dependency:
-// comment/TYPE/HELP lines, and `name{labels} value` samples.
-func parseProm(t *testing.T, text string) map[string]*promFamily {
-	t.Helper()
-	fams := map[string]*promFamily{}
-	fam := func(name string) *promFamily {
-		f, ok := fams[name]
-		if !ok {
-			f = &promFamily{samples: map[string]float64{}}
-			fams[name] = f
-		}
-		return f
-	}
-	for ln, line := range strings.Split(text, "\n") {
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			fields := strings.Fields(line)
-			if len(fields) < 4 || (fields[1] != "TYPE" && fields[1] != "HELP") {
-				t.Fatalf("line %d: malformed comment %q", ln+1, line)
-			}
-			if fields[1] == "TYPE" {
-				f := fam(fields[2])
-				if f.typ != "" {
-					t.Fatalf("line %d: duplicate TYPE for %s", ln+1, fields[2])
-				}
-				f.typ = fields[3]
-			}
-			continue
-		}
-		// Sample: name[{labels}] value. Labels may contain spaces inside
-		// quotes, so split at the last space instead of the first.
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			t.Fatalf("line %d: malformed sample %q", ln+1, line)
-		}
-		sample, valStr := line[:sp], line[sp+1:]
-		var val float64
-		switch valStr {
-		case "+Inf", "-Inf", "NaN":
-		default:
-			v, err := strconv.ParseFloat(valStr, 64)
-			if err != nil {
-				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
-			}
-			val = v
-		}
-		name := sample
-		if br := strings.IndexByte(sample, '{'); br >= 0 {
-			name = sample[:br]
-			if !strings.HasSuffix(sample, "}") {
-				t.Fatalf("line %d: unterminated labels %q", ln+1, sample)
-			}
-		}
-		// Histogram series attach to their base family.
-		base := name
-		for _, suf := range []string{"_bucket", "_sum", "_count"} {
-			if strings.HasSuffix(name, suf) {
-				if f, ok := fams[strings.TrimSuffix(name, suf)]; ok && f.typ == "histogram" {
-					base = strings.TrimSuffix(name, suf)
-				}
-			}
-		}
-		f, ok := fams[base]
-		if !ok || f.typ == "" {
-			t.Fatalf("line %d: sample %q has no TYPE declaration", ln+1, sample)
-		}
-		f.samples[sample] = val
-	}
-	return fams
-}
-
-func scrape(t *testing.T, ts *httptest.Server) map[string]*promFamily {
+// scrape fetches /metrics and parses it with the shared strict exposition
+// parser (promtest), which this test file's hand-rolled parser grew into.
+func scrape(t *testing.T, ts *httptest.Server) map[string]*promtest.Family {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -183,7 +105,7 @@ func scrape(t *testing.T, ts *httptest.Server) map[string]*promFamily {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return parseProm(t, string(body))
+	return promtest.Parse(t, string(body))
 }
 
 func TestMetricsExposition(t *testing.T) {
@@ -201,11 +123,11 @@ func TestMetricsExposition(t *testing.T) {
 			t.Errorf("metrics missing %s", name)
 			continue
 		}
-		if f.typ != typ {
-			t.Errorf("%s type %q, want %q", name, f.typ, typ)
+		if f.Type != typ {
+			t.Errorf("%s type %q, want %q", name, f.Type, typ)
 		}
 	}
-	if up := fams["oslayout_uptime_seconds"].samples["oslayout_uptime_seconds"]; up < 0 {
+	if up := fams["oslayout_uptime_seconds"].Samples["oslayout_uptime_seconds"]; up < 0 {
 		t.Errorf("uptime %v < 0", up)
 	}
 }
@@ -255,13 +177,13 @@ func TestJobLifecycle(t *testing.T) {
 
 	// Metrics reflect the completed job.
 	fams := scrape(t, ts)
-	if v := fams["oslayout_jobs_finished_total"].samples["oslayout_jobs_finished_total"]; v < 1 {
+	if v := fams["oslayout_jobs_finished_total"].Samples["oslayout_jobs_finished_total"]; v < 1 {
 		t.Errorf("jobs_finished_total = %v, want >= 1", v)
 	}
-	if v := fams["oslayout_refs_replayed_total"].samples["oslayout_refs_replayed_total"]; v <= 0 {
+	if v := fams["oslayout_refs_replayed_total"].Samples["oslayout_refs_replayed_total"]; v <= 0 {
 		t.Errorf("refs_replayed_total = %v, want > 0", v)
 	}
-	if f, ok := fams["oslayout_phase_duration_seconds"]; !ok || f.typ != "histogram" {
+	if f, ok := fams["oslayout_phase_duration_seconds"]; !ok || f.Type != "histogram" {
 		t.Error("phase duration histogram missing")
 	}
 }
@@ -283,7 +205,7 @@ func TestCompareJobSetsMissRateGauges(t *testing.T) {
 		t.Fatal("strategy miss-rate gauge missing")
 	}
 	var sawBase bool
-	for sample, v := range f.samples {
+	for sample, v := range f.Samples {
 		if strings.Contains(sample, `strategy="base"`) && strings.Contains(sample, `size_bytes="8192"`) {
 			sawBase = true
 			if v <= 0 || v >= 1 {
@@ -292,7 +214,7 @@ func TestCompareJobSetsMissRateGauges(t *testing.T) {
 		}
 	}
 	if !sawBase {
-		t.Errorf("no base@8192 gauge in %v", f.samples)
+		t.Errorf("no base@8192 gauge in %v", f.Samples)
 	}
 }
 
@@ -322,7 +244,7 @@ func TestMultiCPUCompareJob(t *testing.T) {
 		t.Fatal("per-CPU miss-rate gauge missing")
 	}
 	seen := map[string]bool{}
-	for sample, v := range f.samples {
+	for sample, v := range f.Samples {
 		for cpu := 0; cpu < 2; cpu++ {
 			label := fmt.Sprintf(`cpu="%d"`, cpu)
 			if strings.Contains(sample, label) && strings.Contains(sample, `strategy="base"`) {
@@ -334,14 +256,14 @@ func TestMultiCPUCompareJob(t *testing.T) {
 		}
 	}
 	if len(seen) != 2 {
-		t.Errorf("per-CPU gauges for %d of 2 CPUs: %v", len(seen), f.samples)
+		t.Errorf("per-CPU gauges for %d of 2 CPUs: %v", len(seen), f.Samples)
 	}
 	cc, ok := fams["oslayout_crosscpu_evictions_total"]
 	if !ok {
 		t.Fatal("cross-CPU eviction counter missing")
 	}
 	var crossEvicts float64
-	for _, v := range cc.samples {
+	for _, v := range cc.Samples {
 		crossEvicts += v
 	}
 	if crossEvicts == 0 {
@@ -373,7 +295,7 @@ func TestPartitionedCompareJob(t *testing.T) {
 		t.Fatal("partition ways gauge missing")
 	}
 	var osWays, appWays float64
-	for sample, v := range f.samples {
+	for sample, v := range f.Samples {
 		if !strings.Contains(sample, `strategy="base"`) || !strings.Contains(sample, `size_bytes="8192"`) {
 			continue
 		}
@@ -385,14 +307,14 @@ func TestPartitionedCompareJob(t *testing.T) {
 		}
 	}
 	if osWays == 0 || appWays == 0 {
-		t.Fatalf("no per-region way gauges for base@8192: %v", f.samples)
+		t.Fatalf("no per-region way gauges for base@8192: %v", f.Samples)
 	}
 	rc, ok := fams["oslayout_repartitions_total"]
 	if !ok {
 		t.Fatal("repartition counter missing")
 	}
 	var repartitions float64
-	for _, v := range rc.samples {
+	for _, v := range rc.Samples {
 		repartitions += v
 	}
 	if repartitions == 0 {
@@ -708,9 +630,9 @@ func TestCompareJobsShareStudyAndStreams(t *testing.T) {
 		t.Fatalf("first job ended %s: %s", first.State, first.Error)
 	}
 	fams := scrape(t, ts)
-	hits0 := fams["oslayout_streamcache_hits_total"].samples["oslayout_streamcache_hits_total"]
-	miss0 := fams["oslayout_streamcache_misses_total"].samples["oslayout_streamcache_misses_total"]
-	build0 := fams["oslayout_layout_cache_misses_total"].samples["oslayout_layout_cache_misses_total"]
+	hits0 := fams["oslayout_streamcache_hits_total"].Samples["oslayout_streamcache_hits_total"]
+	miss0 := fams["oslayout_streamcache_misses_total"].Samples["oslayout_streamcache_misses_total"]
+	build0 := fams["oslayout_layout_cache_misses_total"].Samples["oslayout_layout_cache_misses_total"]
 	if miss0 == 0 {
 		t.Fatal("first compare job compiled no streams")
 	}
@@ -724,9 +646,9 @@ func TestCompareJobsShareStudyAndStreams(t *testing.T) {
 			first.Results["compare"].Digest, second.Results["compare"].Digest)
 	}
 	fams = scrape(t, ts)
-	hits1 := fams["oslayout_streamcache_hits_total"].samples["oslayout_streamcache_hits_total"]
-	miss1 := fams["oslayout_streamcache_misses_total"].samples["oslayout_streamcache_misses_total"]
-	build1 := fams["oslayout_layout_cache_misses_total"].samples["oslayout_layout_cache_misses_total"]
+	hits1 := fams["oslayout_streamcache_hits_total"].Samples["oslayout_streamcache_hits_total"]
+	miss1 := fams["oslayout_streamcache_misses_total"].Samples["oslayout_streamcache_misses_total"]
+	build1 := fams["oslayout_layout_cache_misses_total"].Samples["oslayout_layout_cache_misses_total"]
 	if hits1 <= hits0 {
 		t.Errorf("second job hit no compiled streams (hits %v -> %v)", hits0, hits1)
 	}
