@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,6 +38,8 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 		refs       = fs.String("refs", "500k", "OS references per workload for the table and compare benchmarks")
 		streamRefs = fs.String("streamrefs", "50m", "OS references for the streamed-pipeline benchmark")
 		seed       = fs.Int64("seed", 0, "kernel generation seed override (0 = default 1995)")
+		coord      = fs.Bool("coord", false, "also run the sharded-serve scenario: an 8x3 compare grid through an in-process coordinator over 1 vs 2 worker daemons")
+		coordRefs  = fs.String("coordrefs", "3m", "OS references per workload for the coordinator scenario")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: oslayout bench [-record -dir <archive>] [flags]\n\nflags:\n")
@@ -67,6 +73,23 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 		{Name: "compare_cold", Note: fmt.Sprintf("refs=%d strategies=base,opts sizes=4k,8k", refCount)},
 		{Name: "compare_warm", Note: fmt.Sprintf("refs=%d strategies=base,opts sizes=4k,8k", refCount)},
 		{Name: "stream", Note: fmt.Sprintf("refs=%d chunked pipeline, table2", streamCount)},
+	}
+	var coordCount uint64
+	if *coord {
+		coordCount, err = serve.ParseRefs(*coordRefs)
+		if err != nil {
+			return fmt.Errorf("bad -coordrefs: %w", err)
+		}
+		// Each worker daemon gets a fixed fraction of the machine so the
+		// 1-worker and 2-worker runs compare capacity, not contention: on a
+		// multi-core host the 2-worker fleet legitimately brings twice the
+		// replay bandwidth. On a single-core host both fleets collapse to
+		// par=1 and the scenario only demonstrates protocol overhead.
+		par := coordPar()
+		note := fmt.Sprintf("refs=%d grid=8x3 (base,opts x 4 workloads x 3 sizes) drivepar=%d/worker", coordCount, par)
+		samples = append(samples,
+			runstore.BenchSample{Name: "coordinator_1w", Note: note + " workers=1"},
+			runstore.BenchSample{Name: "coordinator_2w", Note: note + " workers=2"})
 	}
 	byName := map[string]*runstore.BenchSample{}
 	for i := range samples {
@@ -150,6 +173,12 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *coord {
+		if err := benchCoordinator(*n, coordCount, *seed, digests, timeIt); err != nil {
+			return err
+		}
+	}
+
 	for i := range samples {
 		samples[i].Summarize()
 		s := &samples[i]
@@ -192,4 +221,126 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "[archived bench record %s to %s]\n", id[:12], *dir)
 	return nil
+}
+
+// coordPar is each bench worker daemon's replay parallelism: half the
+// machine, so two workers together use what one process would.
+func coordPar() int {
+	par := runtime.NumCPU() / 2
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
+// benchCoordinator times the sharded-serve scenario: the same 8x3 compare
+// grid submitted to a coordinator over a 1-worker and a 2-worker fleet,
+// both fleets built from in-process daemons on loopback listeners. The two
+// merged digests must agree (and are recorded), so the scenario doubles as
+// a bit-identity check at bench scale.
+func benchCoordinator(n int, refs uint64, seed int64, digests map[string]string, timeIt func(string, func() error) error) error {
+	par := coordPar()
+	w1, stop1, err := startBenchDaemon(serve.Config{Workers: 2, DrivePar: par})
+	if err != nil {
+		return err
+	}
+	defer stop1()
+	w2, stop2, err := startBenchDaemon(serve.Config{Workers: 2, DrivePar: par})
+	if err != nil {
+		return err
+	}
+	defer stop2()
+	c1, stopC1, err := startBenchDaemon(serve.Config{Coordinator: true, Peers: []string{w1}})
+	if err != nil {
+		return err
+	}
+	defer stopC1()
+	c2, stopC2, err := startBenchDaemon(serve.Config{Coordinator: true, Peers: []string{w1, w2}})
+	if err != nil {
+		return err
+	}
+	defer stopC2()
+
+	spec := fmt.Sprintf(`{"compare":{"strategies":["base","opts"],"sizes":["4k","8k","16k"]},"refs":%d,"seed":%d}`, refs, seed)
+	// Warmup through the 2-worker fleet pools both workers' studies and
+	// compiled streams, so the timed runs measure steady-state replay
+	// throughput rather than one cold study build.
+	if _, err := runCoordJob(c2, spec); err != nil {
+		return fmt.Errorf("bench coordinator warmup: %w", err)
+	}
+	coordDigests := map[string]string{}
+	for rep := 0; rep < n; rep++ {
+		for name, base := range map[string]string{"coordinator_1w": c1, "coordinator_2w": c2} {
+			err := timeIt(name, func() error {
+				st, err := runCoordJob(base, spec)
+				if err != nil {
+					return err
+				}
+				coordDigests[name] = st.Results["compare"].Digest
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if coordDigests["coordinator_1w"] != coordDigests["coordinator_2w"] {
+		return fmt.Errorf("bench coordinator: 1-worker digest %s != 2-worker digest %s",
+			coordDigests["coordinator_1w"], coordDigests["coordinator_2w"])
+	}
+	digests["coordinator_compare"] = coordDigests["coordinator_2w"]
+	return nil
+}
+
+// startBenchDaemon runs an in-process serve daemon on a loopback listener.
+func startBenchDaemon(cfg serve.Config) (url string, stop func(), err error) {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		srv.Close()
+		s.Close()
+	}, nil
+}
+
+// runCoordJob submits one job spec to a daemon and polls it to completion.
+func runCoordJob(base, spec string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	resp, err := http.Post(base+"/api/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return st, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return st, fmt.Errorf("job submission answered %s", resp.Status)
+	}
+	deadline := time.Now().Add(30 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/api/jobs/" + st.ID)
+		if err != nil {
+			return st, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case serve.StateDone:
+			return st, nil
+		case serve.StateFailed:
+			return st, fmt.Errorf("job failed: %s", st.Error)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return st, fmt.Errorf("job %s did not finish before the bench deadline", st.ID)
 }

@@ -254,6 +254,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		archiveDir = fs.String("archive", "", "run archive directory to append this run's record to; defaults to <report>/archive when -report is set")
 		par        = fs.Int("par", runtime.GOMAXPROCS(0), "parallelism bound for grid fan-out and the replay drive pool (1 = fully sequential; results identical at any setting)")
 		cpus       = fs.Int("cpus", 1, "simulated CPUs sharing each cell's cache (1 = classic single-CPU grid; above 1 the per-CPU traces are interleaved into one shared cache)")
+		private    = fs.Bool("private", false, "give each simulated CPU its own cache fed by its own trace instead of the shared cache (requires -cpus > 1)")
 	)
 	fs.Usage = func() {
 		var names []string
@@ -295,6 +296,9 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 	if *cpus < 1 || *cpus > 16 {
 		return fmt.Errorf("-cpus must be in 1..16 (got %d)", *cpus)
 	}
+	if *private && *cpus < 2 {
+		return fmt.Errorf("-private needs -cpus > 1")
+	}
 	var rec *oslayout.Recorder
 	if *reportDir != "" || *archiveDir != "" {
 		rec = oslayout.NewRecorder()
@@ -316,7 +320,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 	}
 	t0 := time.Now()
 	c, err := env.RunCompareOpts(stratList, sizeList, *line, *assoc,
-		expt.CompareOptions{Detail: *detail, Partition: *part, CPUs: *cpus})
+		expt.CompareOptions{Detail: *detail, Partition: *part, CPUs: *cpus, Private: *private})
 	if err != nil {
 		return err
 	}

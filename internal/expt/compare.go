@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"oslayout"
@@ -13,6 +14,7 @@ import (
 	"oslayout/internal/simulate"
 	"oslayout/internal/strategy"
 	"oslayout/internal/trace"
+	"oslayout/internal/workload"
 )
 
 // Compare evaluates an arbitrary set of registered layout strategies over
@@ -33,11 +35,24 @@ type Compare struct {
 	// (the classic grid); above 1 every cell drives the interleaved
 	// multi-CPU trace into one shared cache of the cell's configuration.
 	CPUs int
+	// Private marks a CPUs > 1 grid that ran private per-CPU caches
+	// instead of one shared cache: each CPU's own trace replayed into its
+	// own cache of the cell's configuration, with Rates the exact
+	// integer-sum aggregate over the CPUs (see Finalize).
+	Private bool `json:",omitempty"`
 	// Rates[s][w][k]: total miss rate at size s, workload w, strategy k.
 	Rates [][][]float64
 	// CPURates[s][w][k][c] is CPU c's miss rate in the same cell; nil
 	// unless CPUs > 1.
 	CPURates [][][][]float64
+	// CPURefs[s][w][k][c] and CPUMisses[s][w][k][c] are CPU c's replayed
+	// references and misses in the same cell; nil unless Private. They are
+	// what makes a sharded private grid mergeable: Finalize recomputes each
+	// cell's aggregate rate from the integer sums in CPU order, so a grid
+	// reassembled from per-CPU shards renders bit-identically to a
+	// whole-grid run.
+	CPURefs   [][][][]uint64 `json:",omitempty"`
+	CPUMisses [][][][]uint64 `json:",omitempty"`
 	// Evictions[s][w][k] and CrossEvictions[s][w][k] are each shared cell's
 	// total eviction count and its cross-CPU (installer != evictor) share;
 	// nil unless CPUs > 1.
@@ -52,9 +67,9 @@ type Compare struct {
 	PartEvents [][][]uint64
 	PartFinal  [][][]string
 	// PartSplit is PartFinal in numeric form for programmatic consumers
-	// (the serve daemon's per-region gauges); the strings above already
-	// carry it for humans and JSON.
-	PartSplit [][][]cache.Partition `json:"-"`
+	// (the serve daemon's per-region gauges). It is serialised so a
+	// coordinator-merged grid keeps the numeric splits its gauges need.
+	PartSplit [][][]cache.Partition `json:"part_split,omitempty"`
 }
 
 // Attribution decomposes one grid cell's misses: the cold/self/cross split,
@@ -102,6 +117,51 @@ type CompareOptions struct {
 	// cache per cell (the CLI's `compare -cpus`). 0 and 1 run the classic
 	// single-CPU grid, bit-identically.
 	CPUs int
+	// Private, with CPUs above 1, replays each CPU's own trace into a
+	// private cache of the cell's configuration instead of interleaving
+	// the CPUs into one shared cache: per-CPU rates plus the exact-sum
+	// aggregate. The private cells are fully independent — which is what
+	// gives the coordinator (internal/serve) its per-CPU sharding axis.
+	// Incompatible with Detail and Partition.
+	Private bool
+	// Shard, when non-nil, restricts execution to a subset of the grid's
+	// cells; the rest of the returned arrays stay zero. Finalize is left to
+	// the caller merging the shards.
+	Shard *CompareShard
+}
+
+// CompareShard selects a subset of a compare grid: the cross product of the
+// listed workload and strategy indices (nil selects all), and — for Private
+// multiprocessor grids only — the listed CPU indices. Every cell of a grid
+// is an independent replay, so any shard computes bit-identically to the
+// same cells of a whole-grid run; Compare.MergeShard reassembles a full
+// grid from complementary shards. This is the coordinator's unit of
+// distribution across worker daemons.
+type CompareShard struct {
+	Workloads  []int `json:"workloads,omitempty"`
+	Strategies []int `json:"strategies,omitempty"`
+	CPUs       []int `json:"cpus,omitempty"`
+}
+
+// selection expands an index list over n slots; nil selects everything.
+func selection(idx []int, n int, what string) ([]bool, error) {
+	sel := make([]bool, n)
+	if idx == nil {
+		for i := range sel {
+			sel[i] = true
+		}
+		return sel, nil
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("expt: shard selects no %ss", what)
+	}
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("expt: shard %s index %d out of range [0,%d)", what, i, n)
+		}
+		sel[i] = true
+	}
+	return sel, nil
 }
 
 // RunCompareOpts is the full-option comparison engine.
@@ -131,6 +191,17 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 	if cpus < 1 {
 		cpus = 1
 	}
+	if opt.Private {
+		if cpus < 2 {
+			return nil, fmt.Errorf("expt: private per-CPU caches need cpus > 1")
+		}
+		if detail || opt.Partition != "" {
+			return nil, fmt.Errorf("expt: private per-CPU grids do not carry detail or partition observers")
+		}
+	}
+	if opt.Shard != nil && opt.Shard.CPUs != nil && !opt.Private {
+		return nil, fmt.Errorf("expt: per-CPU shards need private caches (a shared cache couples its CPUs)")
+	}
 	c := &Compare{
 		Strategies: strategies,
 		Sizes:      sizes,
@@ -138,9 +209,28 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 		Assoc:      assoc,
 		Workloads:  e.Workloads(),
 		CPUs:       cpus,
+		Private:    opt.Private,
 	}
 	if opt.Partition != "" {
 		c.Partition = spec.String()
+	}
+	// Shard selection masks: a nil shard selects the whole grid.
+	nw := len(e.St.Data)
+	var shard CompareShard
+	if opt.Shard != nil {
+		shard = *opt.Shard
+	}
+	wsel, err := selection(shard.Workloads, nw, "workload")
+	if err != nil {
+		return nil, err
+	}
+	ksel, err := selection(shard.Strategies, len(strategies), "strategy")
+	if err != nil {
+		return nil, err
+	}
+	csel, err := selection(shard.CPUs, cpus, "cpu")
+	if err != nil {
+		return nil, err
 	}
 
 	// layoutsBySize[s][k] is strategy k's layout for size s; for
@@ -157,6 +247,9 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 			return nil, err
 		}
 		sized[k] = s.SizeDependent()
+		if !ksel[k] {
+			continue // another shard's strategy: skip the build entirely
+		}
 		for si, size := range sizes {
 			l, _, err := e.Strategy(name, size)
 			if err != nil {
@@ -166,7 +259,6 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 		}
 	}
 
-	nw := len(e.St.Data)
 	c.Rates = make([][][]float64, len(sizes))
 	for si := range sizes {
 		c.Rates[si] = make([][]float64, nw)
@@ -202,46 +294,68 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 	// Multi-CPU grids share one merged trace per workload across the
 	// strategy tasks; materialised or header-only per the study's pipeline
 	// mode, built serially (application image construction), replayed
-	// read-only in parallel below.
+	// read-only in parallel below. Private grids keep the per-CPU sources
+	// separate instead and memoize each CPU's individual trace across the
+	// strategy tasks that replay it.
 	var mtrs []*trace.MultiTrace
 	var appLs []*layout.Layout
+	var srcs []*workload.MultiSource
+	var cpuMemo [][]cpuTraceMemo
 	if cpus > 1 {
-		c.CPURates = make([][][][]float64, len(sizes))
-		c.Evictions = make([][][]uint64, len(sizes))
-		c.CrossEvictions = make([][][]uint64, len(sizes))
-		for si := range sizes {
-			c.CPURates[si] = make([][][]float64, nw)
-			c.Evictions[si] = make([][]uint64, nw)
-			c.CrossEvictions[si] = make([][]uint64, nw)
+		c.CPURates = alloc4[float64](len(sizes), nw, len(strategies), cpus)
+		appLs = make([]*layout.Layout, nw)
+		if opt.Private {
+			c.CPURefs = alloc4[uint64](len(sizes), nw, len(strategies), cpus)
+			c.CPUMisses = alloc4[uint64](len(sizes), nw, len(strategies), cpus)
+			srcs = make([]*workload.MultiSource, nw)
+			cpuMemo = make([][]cpuTraceMemo, nw)
 			for wi := 0; wi < nw; wi++ {
-				c.CPURates[si][wi] = make([][]float64, len(strategies))
-				c.Evictions[si][wi] = make([]uint64, len(strategies))
-				c.CrossEvictions[si][wi] = make([]uint64, len(strategies))
-				for k := range strategies {
-					c.CPURates[si][wi][k] = make([]float64, cpus)
+				if !wsel[wi] {
+					continue
+				}
+				ms, err := e.multiSource(wi, cpus)
+				if err != nil {
+					return nil, err
+				}
+				srcs[wi] = ms
+				appLs[wi] = appBaseOf(ms)
+				cpuMemo[wi] = make([]cpuTraceMemo, cpus)
+			}
+		} else {
+			c.Evictions = make([][][]uint64, len(sizes))
+			c.CrossEvictions = make([][][]uint64, len(sizes))
+			for si := range sizes {
+				c.Evictions[si] = make([][]uint64, nw)
+				c.CrossEvictions[si] = make([][]uint64, nw)
+				for wi := 0; wi < nw; wi++ {
+					c.Evictions[si][wi] = make([]uint64, len(strategies))
+					c.CrossEvictions[si][wi] = make([]uint64, len(strategies))
 				}
 			}
-		}
-		mtrs = make([]*trace.MultiTrace, nw)
-		appLs = make([]*layout.Layout, nw)
-		for wi := 0; wi < nw; wi++ {
-			ms, err := e.multiSource(wi, cpus)
-			if err != nil {
-				return nil, err
+			mtrs = make([]*trace.MultiTrace, nw)
+			for wi := 0; wi < nw; wi++ {
+				if !wsel[wi] {
+					continue
+				}
+				ms, err := e.multiSource(wi, cpus)
+				if err != nil {
+					return nil, err
+				}
+				if mtrs[wi], err = e.multiTrace(ms); err != nil {
+					return nil, err
+				}
+				appLs[wi] = appBaseOf(ms)
 			}
-			if mtrs[wi], err = e.multiTrace(ms); err != nil {
-				return nil, err
-			}
-			appLs[wi] = appBaseOf(ms)
 		}
 	}
 
 	// One task per (workload, strategy): size-independent strategies ride
 	// all sizes on one trace replay; size-dependent ones get one task per
-	// size (each a single-config batch), mirroring Figure 15.
+	// size (each a single-config batch), mirroring Figure 15. Private grids
+	// fan out further, one task per (workload, strategy, cpu).
 	type task struct {
-		wi, k int
-		sis   []int
+		wi, k, cpu int // cpu is -1 outside private mode
+		sis        []int
 	}
 	allSizes := make([]int, len(sizes))
 	for si := range sizes {
@@ -249,17 +363,35 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 	}
 	var tasks []task
 	for wi := 0; wi < nw; wi++ {
+		if !wsel[wi] {
+			continue
+		}
 		for k := range strategies {
+			if !ksel[k] {
+				continue
+			}
+			var sisSets [][]int
 			if sized[k] {
 				for si := range sizes {
-					tasks = append(tasks, task{wi, k, []int{si}})
+					sisSets = append(sisSets, []int{si})
 				}
 			} else {
-				tasks = append(tasks, task{wi, k, allSizes})
+				sisSets = [][]int{allSizes}
+			}
+			for _, sis := range sisSets {
+				if opt.Private {
+					for cpu := 0; cpu < cpus; cpu++ {
+						if csel[cpu] {
+							tasks = append(tasks, task{wi, k, cpu, sis})
+						}
+					}
+				} else {
+					tasks = append(tasks, task{wi, k, -1, sis})
+				}
 			}
 		}
 	}
-	err := e.parEach(len(tasks), func(j int) error {
+	err = e.parEach(len(tasks), func(j int) error {
 		tk := tasks[j]
 		cfgs := make([]cache.Config, len(tk.sis))
 		for i, si := range tk.sis {
@@ -298,6 +430,28 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 				observers[i] = s
 				stats[i] = s
 			}
+		}
+		if opt.Private {
+			// Private cell: this CPU's own trace into its own cache; the
+			// integer refs/misses feed Finalize's exact aggregate.
+			tr, err := cpuMemo[tk.wi][tk.cpu].get(e, srcs[tk.wi], tk.cpu)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			priv, err := simulate.RunManyOpt(tr, osL, appLs[tk.wi], cfgs,
+				simulate.Options{Workers: e.par})
+			if err != nil {
+				return err
+			}
+			e.recordAdhocReplay(tr, start)
+			for i, si := range tk.sis {
+				st := &priv[i].Stats
+				c.CPURates[si][tk.wi][tk.k][tk.cpu] = st.MissRate()
+				c.CPURefs[si][tk.wi][tk.k][tk.cpu] = st.TotalRefs()
+				c.CPUMisses[si][tk.wi][tk.k][tk.cpu] = st.TotalMisses()
+			}
+			return nil
 		}
 		var ress []*simulate.Result
 		if cpus > 1 {
@@ -349,7 +503,65 @@ func (e *Env) RunCompareOpts(strategies []string, sizes []int, line, assoc int, 
 	if err != nil {
 		return nil, err
 	}
+	// A whole grid finalises its derived aggregates here; a shard leaves
+	// them to whoever merges the shards back together.
+	if opt.Shard == nil {
+		c.Finalize()
+	}
 	return c, nil
+}
+
+// Finalize computes the aggregates a sharded run defers to the merger: in
+// private mode each cell's total miss rate is the integer-sum ratio over
+// its per-CPU replays, summed in CPU order. RunCompareOpts calls it for
+// whole grids; a coordinator calls it once after MergeShard has reassembled
+// every cell, so merged and whole-grid rates are bit-identical. Idempotent,
+// and a no-op outside private mode (every other aggregate is per-cell).
+func (c *Compare) Finalize() {
+	if !c.Private {
+		return
+	}
+	for si := range c.Sizes {
+		for wi := range c.Workloads {
+			for k := range c.Strategies {
+				var refs, misses uint64
+				for cpu := 0; cpu < c.CPUs; cpu++ {
+					refs += c.CPURefs[si][wi][k][cpu]
+					misses += c.CPUMisses[si][wi][k][cpu]
+				}
+				c.Rates[si][wi][k] = ratio(misses, refs)
+			}
+		}
+	}
+}
+
+// cpuTraceMemo single-flights one CPU's individual trace across the
+// strategy tasks replaying it (generation is deterministic, replay is
+// read-only, so sharing one trace is safe at any parallelism).
+type cpuTraceMemo struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+func (m *cpuTraceMemo) get(e *Env, ms *workload.MultiSource, cpu int) (*trace.Trace, error) {
+	m.once.Do(func() { m.tr, m.err = e.cpuTrace(ms, cpu) })
+	return m.tr, m.err
+}
+
+// alloc4 allocates a zeroed [a][b][c][d] grid.
+func alloc4[T any](a, b, c, d int) [][][][]T {
+	out := make([][][][]T, a)
+	for i := range out {
+		out[i] = make([][][]T, b)
+		for j := range out[i] {
+			out[i][j] = make([][]T, c)
+			for k := range out[i][j] {
+				out[i][j][k] = make([]T, d)
+			}
+		}
+	}
+	return out
 }
 
 // attribute condenses one observed replay into an Attribution.
@@ -387,7 +599,11 @@ func (c *Compare) Render() string {
 		fmt.Fprintf(&sb, ", partition %s", c.Partition)
 	}
 	if c.CPUs > 1 {
-		fmt.Fprintf(&sb, ", %d CPUs sharing each cache", c.CPUs)
+		if c.Private {
+			fmt.Fprintf(&sb, ", %d CPUs with private caches", c.CPUs)
+		} else {
+			fmt.Fprintf(&sb, ", %d CPUs sharing each cache", c.CPUs)
+		}
 	}
 	sb.WriteString("\n")
 	fmt.Fprintf(&sb, "  %-7s %-12s", "size", "workload")
@@ -433,7 +649,11 @@ func (c *Compare) Render() string {
 		}
 	}
 	if c.CPURates != nil {
-		sb.WriteString("\nPer-CPU miss rates and cross-CPU evictions (shared cache)\n")
+		if c.Private {
+			sb.WriteString("\nPer-CPU miss rates (private per-CPU caches)\n")
+		} else {
+			sb.WriteString("\nPer-CPU miss rates and cross-CPU evictions (shared cache)\n")
+		}
 		for si, size := range c.Sizes {
 			label := fmt.Sprintf("%dKB", size>>10)
 			if size%(1<<10) != 0 {
@@ -445,8 +665,12 @@ func (c *Compare) Render() string {
 					for cpu, v := range c.CPURates[si][wi][k] {
 						fmt.Fprintf(&sb, " cpu%d %5.2f%%", cpu, 100*v)
 					}
-					fmt.Fprintf(&sb, "  cross-evict %d/%d\n",
-						c.CrossEvictions[si][wi][k], c.Evictions[si][wi][k])
+					if c.Private {
+						sb.WriteString("\n")
+					} else {
+						fmt.Fprintf(&sb, "  cross-evict %d/%d\n",
+							c.CrossEvictions[si][wi][k], c.Evictions[si][wi][k])
+					}
 				}
 			}
 		}

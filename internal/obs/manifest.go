@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"strings"
 )
 
@@ -59,6 +60,14 @@ type Provenance struct {
 	// git binary and repository are reachable from the process; empty
 	// otherwise. Informational only — it never gates a diff.
 	Git string `json:"git,omitempty"`
+	// Merged marks a run assembled by a coordinator from worker shards:
+	// its results are bit-identical to a single-process run (digests gate
+	// as usual) but its timings aggregate a fleet, so timing comparisons
+	// against non-merged runs — or runs merged over a different fleet —
+	// are annotated instead of gated. Workers lists the shard hosts,
+	// sorted.
+	Merged  bool     `json:"merged,omitempty"`
+	Workers []string `json:"workers,omitempty"`
 }
 
 // CollectProvenance snapshots the current process's provenance. The git
@@ -88,6 +97,18 @@ func CollectProvenance() *Provenance {
 func (p *Provenance) ComparableTo(q *Provenance) (ok bool, note string) {
 	if p == nil || q == nil {
 		return true, "provenance missing on one side; timing comparison is best-effort"
+	}
+	if p.Merged != q.Merged {
+		return false, "coordinator-merged vs single-process run; fleet timings are not comparable to one host's"
+	}
+	if p.Merged {
+		if !slices.Equal(p.Workers, q.Workers) {
+			return false, fmt.Sprintf("merged over different fleets (%s vs %s)",
+				strings.Join(p.Workers, ","), strings.Join(q.Workers, ","))
+		}
+		// Same fleet: the usual host/toolchain fields describe the
+		// coordinators, which do no replay work; timings compare.
+		return true, "coordinator-merged runs over one fleet"
 	}
 	var diffs []string
 	if p.GOOS != q.GOOS || p.GOARCH != q.GOARCH {

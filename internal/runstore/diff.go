@@ -118,6 +118,12 @@ func Compare(a, b *Record, opt DiffOptions) *Diff {
 	if d.ProvenanceNote != "" && !d.Comparable {
 		d.Notes = append(d.Notes, "timing deltas annotated only: "+d.ProvenanceNote)
 	}
+	if merged(a) || merged(b) {
+		// Coordinator-merged runs gate digest drift like any other — the
+		// merge is bit-identical to a single-process run — so incomparable
+		// timings never silently weaken the correctness gate.
+		d.Notes = append(d.Notes, "coordinator-merged run in the diff; digest drift still gates")
+	}
 
 	// Digest drift: the correctness axis. Changed digests for a result name
 	// present in both runs always regress; one-sided results are noted (the
@@ -209,6 +215,11 @@ func Compare(a, b *Record, opt DiffOptions) *Diff {
 	sort.Slice(d.Bench, func(i, j int) bool { return d.Bench[i].Name < d.Bench[j].Name })
 
 	return d
+}
+
+// merged reports whether a record came out of a coordinator merge.
+func merged(r *Record) bool {
+	return r.Manifest.Provenance != nil && r.Manifest.Provenance.Merged
 }
 
 func sumPhases(r *Record) map[string]float64 {

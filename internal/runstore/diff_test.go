@@ -202,3 +202,66 @@ func TestDiffOptionOverrides(t *testing.T) {
 		t.Fatal("tight band missed +20%")
 	}
 }
+
+// Coordinator-merged records (satellite of the sharded-serve PR): digest
+// drift gates regardless of the fleet annotation, merged-vs-single timings
+// are annotated rather than gated, and two runs merged over one fleet
+// still gate timings.
+func TestDiffMergedRuns(t *testing.T) {
+	mergedRec := func() *Record {
+		r := finish(baselineRecord())
+		r.Manifest.Provenance.Merged = true
+		r.Manifest.Provenance.Workers = []string{"host-a", "host-b"}
+		return r
+	}
+
+	// Merged vs single-process: incomparable timings, annotated.
+	a, b := finish(baselineRecord()), mergedRec()
+	b.Manifest.Phases = []obs.Phase{{Name: "replay", Millis: 60_000}}
+	d := Compare(a, b, DiffOptions{})
+	if d.Comparable {
+		t.Fatal("merged vs single-process reported comparable")
+	}
+	if d.Regressed {
+		t.Errorf("merged-vs-single timing delta gated:\n%s", d.Render())
+	}
+	if !strings.Contains(d.ProvenanceNote, "coordinator-merged") {
+		t.Errorf("provenance note %q lacks the merged annotation", d.ProvenanceNote)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "digest drift still gates") {
+		t.Errorf("merged diff lacks the digest-gate note: %v", d.Notes)
+	}
+
+	// Digest drift on a merged record is still a hard failure.
+	b = mergedRec()
+	b.Manifest.Results["table1"] = "ccc"
+	if d := Compare(a, b, DiffOptions{}); !d.Regressed {
+		t.Error("digest drift on a merged record did not regress")
+	}
+
+	// Two runs merged over the same fleet compare timings and gate them.
+	c1, c2 := mergedRec(), mergedRec()
+	c2.Manifest.Phases = []obs.Phase{
+		{Name: "trace-gen", Millis: 100},
+		{Name: "replay", Millis: 60_000},
+	}
+	d = Compare(c1, c2, DiffOptions{})
+	if !d.Comparable {
+		t.Fatalf("same-fleet merged runs not comparable: %s", d.ProvenanceNote)
+	}
+	if !d.Regressed {
+		t.Errorf("same-fleet timing blowup not gated:\n%s", d.Render())
+	}
+
+	// Different fleets: annotated, not gated.
+	c3 := mergedRec()
+	c3.Manifest.Provenance.Workers = []string{"host-c"}
+	c3.Manifest.Phases = []obs.Phase{{Name: "replay", Millis: 60_000}}
+	d = Compare(c1, c3, DiffOptions{})
+	if d.Comparable || d.Regressed {
+		t.Errorf("different-fleet merged runs comparable=%v regressed=%v, want neither", d.Comparable, d.Regressed)
+	}
+	if !strings.Contains(d.ProvenanceNote, "fleet") {
+		t.Errorf("note %q lacks the fleet mismatch", d.ProvenanceNote)
+	}
+}

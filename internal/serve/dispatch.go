@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"oslayout/internal/obs"
+	"oslayout/internal/runstore"
+)
+
+// The coordinator half of the sharded serve protocol: a daemon in
+// coordinator mode accepts the unchanged job specs, decomposes them into
+// shards (shard.go), fans the shards out to its registered worker daemons,
+// reassigns them on worker timeout or failure with bounded retry and
+// backoff, and merges the partial results into one grid whose digest is
+// bit-identical to a single-process run.
+
+// Dispatch policy defaults; Config overrides each.
+const (
+	defaultShardTimeout  = 10 * time.Minute
+	defaultShardAttempts = 3
+	defaultShardBackoff  = 200 * time.Millisecond
+	// maxWorkerBackoff caps a failing worker's cooldown so a transient
+	// blip does not bench it for a whole job.
+	maxWorkerBackoff = 5 * time.Second
+	// stragglerMult marks a completed shard a straggler when its duration
+	// exceeds this multiple of the job's median shard duration (plus an
+	// absolute floor, so sub-second jitter never counts).
+	stragglerMult  = 2.0
+	stragglerFloor = 250 * time.Millisecond
+)
+
+// workerReg is the /api/workers registration payload.
+type workerReg struct {
+	// URL is the worker daemon's base URL as reachable from the
+	// coordinator ("http://host:8081").
+	URL string `json:"url"`
+	// Slots bounds how many shards the coordinator keeps in flight on the
+	// worker at once (default 2, the worker's default job pool).
+	Slots int `json:"slots,omitempty"`
+}
+
+// fleetWorker is one registered worker daemon and its dispatch health.
+type fleetWorker struct {
+	url   string
+	slots int
+
+	mu        sync.Mutex
+	inflight  int
+	done      uint64
+	failed    uint64
+	strikes   int       // consecutive failures, resets on success
+	notBefore time.Time // cooldown after failures
+	lastErr   string
+}
+
+// cooldownRemaining returns how long the worker should sit out.
+func (w *fleetWorker) cooldownRemaining() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Until(w.notBefore)
+}
+
+func (w *fleetWorker) ok() {
+	w.mu.Lock()
+	w.strikes = 0
+	w.lastErr = ""
+	w.done++
+	w.mu.Unlock()
+}
+
+func (w *fleetWorker) fail(err error, backoff time.Duration) {
+	w.mu.Lock()
+	w.strikes++
+	w.failed++
+	w.lastErr = err.Error()
+	cool := backoff << (w.strikes - 1)
+	if cool > maxWorkerBackoff || cool <= 0 {
+		cool = maxWorkerBackoff
+	}
+	w.notBefore = time.Now().Add(cool)
+	w.mu.Unlock()
+}
+
+// WorkerStatus is the /api/workers listing shape.
+type WorkerStatus struct {
+	URL      string `json:"url"`
+	Slots    int    `json:"slots"`
+	Inflight int    `json:"inflight"`
+	Done     uint64 `json:"shards_done"`
+	Failed   uint64 `json:"shards_failed"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// fleet is the coordinator's worker registry.
+type fleet struct {
+	client   *http.Client
+	timeout  time.Duration
+	attempts int
+	backoff  time.Duration
+
+	mu      sync.Mutex
+	workers map[string]*fleetWorker
+	order   []string // registration order
+}
+
+func newFleet(timeout time.Duration, attempts int, backoff time.Duration) *fleet {
+	if timeout <= 0 {
+		timeout = defaultShardTimeout
+	}
+	if attempts <= 0 {
+		attempts = defaultShardAttempts
+	}
+	if backoff <= 0 {
+		backoff = defaultShardBackoff
+	}
+	return &fleet{
+		client:   &http.Client{},
+		timeout:  timeout,
+		attempts: attempts,
+		backoff:  backoff,
+		workers:  make(map[string]*fleetWorker),
+	}
+}
+
+// add registers (or re-registers) a worker; re-registration refreshes the
+// slot count and clears the health record — the worker telling us it is
+// back is the recovery signal.
+func (f *fleet) add(rawURL string, slots int) error {
+	u, err := url.Parse(rawURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("bad worker url %q (want http://host:port)", rawURL)
+	}
+	key := strings.TrimRight(rawURL, "/")
+	if slots <= 0 {
+		slots = 2
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.workers[key]; ok {
+		w.mu.Lock()
+		w.slots = slots
+		w.strikes = 0
+		w.notBefore = time.Time{}
+		w.lastErr = ""
+		w.mu.Unlock()
+		return nil
+	}
+	f.workers[key] = &fleetWorker{url: key, slots: slots}
+	f.order = append(f.order, key)
+	return nil
+}
+
+// snapshot returns the registered workers in registration order.
+func (f *fleet) snapshot() []*fleetWorker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*fleetWorker, 0, len(f.order))
+	for _, k := range f.order {
+		out = append(out, f.workers[k])
+	}
+	return out
+}
+
+func (f *fleet) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.workers)
+}
+
+func (f *fleet) statuses() []WorkerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(f.order))
+	for _, k := range f.order {
+		w := f.workers[k]
+		w.mu.Lock()
+		out = append(out, WorkerStatus{
+			URL: w.url, Slots: w.slots, Inflight: w.inflight,
+			Done: w.done, Failed: w.failed, LastErr: w.lastErr,
+		})
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// permanentError marks a dispatch failure retrying cannot fix (the worker
+// rejected the shard spec itself).
+type permanentError struct{ error }
+
+// post ships one shard to a worker and decodes the result. A 400 is
+// permanent; connection errors, timeouts and 5xx are transient and the
+// dispatcher reassigns the shard.
+func (f *fleet) post(ctx context.Context, w *fleetWorker, spec *ShardSpec) (*ShardResult, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, permanentError{err}
+	}
+	ctx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/api/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		var decoded struct {
+			Error string `json:"error"`
+		}
+		detail := strings.TrimSpace(string(msg))
+		if json.Unmarshal(msg, &decoded) == nil && decoded.Error != "" {
+			detail = decoded.Error
+		}
+		err := fmt.Errorf("worker %s answered %s: %s", w.url, resp.Status, detail)
+		if resp.StatusCode == http.StatusBadRequest {
+			return nil, permanentError{err}
+		}
+		return nil, err
+	}
+	var res ShardResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("decoding shard result from %s: %w", w.url, err)
+	}
+	return &res, nil
+}
+
+// dispatchState tracks one job's shards through the fleet.
+type dispatchState struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []int // shard indices awaiting (re)dispatch
+	attempts    []int
+	results     []*ShardResult
+	outstanding int
+	fatal       error
+}
+
+func (st *dispatchState) finished() bool { return st.fatal != nil || st.outstanding == 0 }
+
+// runShards drives one job's shards over the current fleet: one puller
+// goroutine per worker slot, failed shards requeued onto whichever worker
+// frees up next (bounded attempts), failing workers cooling down with
+// exponential backoff so healthy ones drain the queue.
+func (s *Server) runShards(j *Job, shards []ShardSpec) ([]*ShardResult, error) {
+	workers := s.fleet.snapshot()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("no workers registered with the coordinator (start workers with -join, or list them in -peers)")
+	}
+	st := &dispatchState{
+		pending:     make([]int, len(shards)),
+		attempts:    make([]int, len(shards)),
+		results:     make([]*ShardResult, len(shards)),
+		outstanding: len(shards),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	for i := range shards {
+		st.pending[i] = i
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		for slot := 0; slot < w.slots; slot++ {
+			wg.Add(1)
+			go func(w *fleetWorker) {
+				defer wg.Done()
+				s.pullShards(j, w, shards, st)
+			}(w)
+		}
+	}
+	wg.Wait()
+
+	if st.fatal != nil {
+		return nil, st.fatal
+	}
+	s.accountStragglers(st.results)
+	return st.results, nil
+}
+
+// pullShards is one worker slot's loop: pull a pending shard, post it,
+// record the outcome. On failure the shard is requeued for any slot
+// (bounded by the fleet's attempt budget) and this worker cools down.
+func (s *Server) pullShards(j *Job, w *fleetWorker, shards []ShardSpec, st *dispatchState) {
+	for {
+		// Honour the worker's cooldown outside the state lock; the loop
+		// re-checks for job completion afterwards.
+		if d := w.cooldownRemaining(); d > 0 {
+			st.mu.Lock()
+			done := st.finished()
+			st.mu.Unlock()
+			if done {
+				return
+			}
+			time.Sleep(d)
+		}
+		st.mu.Lock()
+		for len(st.pending) == 0 && !st.finished() {
+			st.cond.Wait()
+		}
+		if st.finished() {
+			st.mu.Unlock()
+			return
+		}
+		idx := st.pending[0]
+		st.pending = st.pending[1:]
+		st.attempts[idx]++
+		attempt := st.attempts[idx]
+		st.mu.Unlock()
+
+		w.mu.Lock()
+		w.inflight++
+		w.mu.Unlock()
+		s.shardInflight(w.url).Add(1)
+		s.shardsDispatched(w.url).Inc()
+		j.events.publish(Event{Type: "shard", Shard: &ShardEvent{
+			Index: idx, Of: len(shards), Worker: w.url, State: "dispatched", Attempt: attempt,
+		}})
+		t0 := time.Now()
+		res, err := s.fleet.post(context.Background(), w, &shards[idx])
+		ms := float64(time.Since(t0).Microseconds()) / 1e3
+		s.shardInflight(w.url).Add(-1)
+		w.mu.Lock()
+		w.inflight--
+		w.mu.Unlock()
+
+		st.mu.Lock()
+		switch {
+		case err == nil:
+			res.Millis = ms // coordinator-observed duration, straggler basis
+			st.results[idx] = res
+			st.outstanding--
+			w.ok()
+			s.shardsCompleted(w.url).Inc()
+			j.events.publish(Event{Type: "shard", Shard: &ShardEvent{
+				Index: idx, Of: len(shards), Worker: w.url, State: "done", Attempt: attempt, Millis: ms,
+			}})
+		default:
+			w.fail(err, s.fleet.backoff)
+			s.shardsFailed(w.url).Inc()
+			if _, permanent := err.(permanentError); permanent {
+				st.fatal = fmt.Errorf("shard %d/%d rejected: %w", idx, len(shards), err)
+			} else if attempt >= s.fleet.attempts {
+				st.fatal = fmt.Errorf("shard %d/%d failed after %d attempts, last on %s: %w",
+					idx, len(shards), attempt, w.url, err)
+			} else {
+				st.pending = append(st.pending, idx)
+				s.shardReassigned.Inc()
+				j.events.publish(Event{Type: "shard", Shard: &ShardEvent{
+					Index: idx, Of: len(shards), Worker: w.url, State: "reassigned", Attempt: attempt, Error: err.Error(),
+				}})
+			}
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// accountStragglers counts completed shards whose duration ran past
+// stragglerMult times the job's median (beyond an absolute floor) — the
+// fleet-health signal for uneven hosts.
+func (s *Server) accountStragglers(results []*ShardResult) {
+	if len(results) < 2 {
+		return
+	}
+	ms := make([]float64, 0, len(results))
+	for _, r := range results {
+		ms = append(ms, r.Millis)
+	}
+	sort.Float64s(ms)
+	median := ms[len(ms)/2]
+	floor := float64(stragglerFloor.Milliseconds())
+	for _, r := range results {
+		if r.Millis > stragglerMult*median && r.Millis-median > floor {
+			s.shardStragglers.Inc()
+		}
+	}
+}
+
+// executeDistributed is coordinator-mode execute: decompose, fan out,
+// merge. The merged digest is bit-identical to a single-process run: every
+// shard computes exactly the cells its mask names, the merge is pure cell
+// copying, float aggregates are recomputed from merged integer sums, and
+// Go's JSON float64 round-trip is exact, so transport cannot perturb rates.
+func (s *Server) executeDistributed(j *Job) (map[string]JobResult, []runstore.Cell, []obs.WindowFlush, error) {
+	shards, err := decompose(j.Spec, s.shardRefs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	done := j.rec.Span("coordinator.dispatch")
+	results, err := s.runShards(j, shards)
+	done()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, r := range results {
+		// Fleet-wide accounting: the merged manifest and the coordinator's
+		// /metrics carry the whole fleet's replay volume and busy time.
+		j.rec.AddReplay(r.Events, time.Duration(r.Millis*float64(time.Millisecond)))
+		j.rec.Add("replay.refs", r.Refs)
+		s.refsReplayed.Add(r.Refs)
+		s.eventsReplay.Add(r.Events)
+		j.addHost(r.Host)
+	}
+
+	if j.Spec.Compare == nil {
+		merged := make(map[string]JobResult)
+		for _, r := range results {
+			for name, jr := range r.Results {
+				merged[name] = jr
+			}
+		}
+		return merged, nil, nil, nil
+	}
+
+	grid := results[0].Grid
+	if grid == nil {
+		return nil, nil, nil, fmt.Errorf("shard %d returned no grid", results[0].Index)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Grid == nil {
+			return nil, nil, nil, fmt.Errorf("shard %d returned no grid", results[i].Index)
+		}
+		if err := grid.MergeShard(results[i].Grid, shards[i].Shard); err != nil {
+			return nil, nil, nil, fmt.Errorf("merging shard %d: %w", i, err)
+		}
+	}
+	grid.Finalize()
+	rendered := grid.Render()
+	merged := map[string]JobResult{"compare": {Digest: obs.Digest(rendered), Rendered: rendered}}
+	return merged, s.compareTelemetry(grid), nil, nil
+}
+
+// handleWorkerJoin registers a worker daemon with the coordinator
+// (POST /api/workers {url, slots}); re-registration refreshes health.
+func (s *Server) handleWorkerJoin(w http.ResponseWriter, r *http.Request) {
+	var reg workerReg
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reg); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding worker registration: %w", err))
+		return
+	}
+	if err := s.fleet.add(reg.URL, reg.Slots); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.workersGauge.Set(float64(s.fleet.size()))
+	writeJSON(w, http.StatusOK, s.fleet.statuses())
+}
+
+// handleWorkers lists the fleet and its dispatch health.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleet.statuses())
+}

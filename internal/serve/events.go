@@ -9,8 +9,9 @@ import (
 // Event is one entry of a job's progress stream, delivered over SSE as a
 // JSON payload. Exactly one of the optional fields is set, matching Type:
 // "state" (lifecycle transition), "phase" (a completed recorder span),
-// "window" (a flushed miss-rate window from a live replay), and "done"
-// (terminal; the stream ends after it).
+// "window" (a flushed miss-rate window from a live replay), "shard" (a
+// coordinator dispatch transition), and "done" (terminal; the stream ends
+// after it).
 type Event struct {
 	// Seq is the event's position in the job's stream, monotonically
 	// increasing from 0, so clients can detect drops.
@@ -19,7 +20,22 @@ type Event struct {
 	State  string           `json:"state,omitempty"`
 	Phase  *obs.Phase       `json:"phase,omitempty"`
 	Window *obs.WindowFlush `json:"window,omitempty"`
+	Shard  *ShardEvent      `json:"shard,omitempty"`
 	Error  string           `json:"error,omitempty"`
+}
+
+// ShardEvent is one coordinator dispatch transition on a distributed job's
+// stream: a shard was dispatched to a worker, came back done, or failed
+// there and was reassigned.
+type ShardEvent struct {
+	Index  int    `json:"index"`
+	Of     int    `json:"of"`
+	Worker string `json:"worker"`
+	// State is "dispatched", "done" or "reassigned".
+	State   string  `json:"state"`
+	Attempt int     `json:"attempt"`
+	Millis  float64 `json:"millis,omitempty"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // subBuffer bounds each subscriber's channel; a subscriber that stalls past

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,6 +76,11 @@ type CompareSpec struct {
 	// reserved policy (which needs a SelfConfFree set; run fig18x instead)
 	// are rejected at submission.
 	Partition string `json:"partition,omitempty"`
+	// Private gives each simulated CPU its own cache fed by its own trace
+	// instead of the shared multiprocessor cache; requires cpus > 1. The
+	// per-CPU replays are independent, which is what lets a coordinator
+	// shard a multiprocessor grid along the CPU axis.
+	Private bool `json:"private,omitempty"`
 }
 
 // validate resolves defaults and rejects malformed specs before the job is
@@ -113,6 +119,17 @@ func (s *JobSpec) validate(budget int64) error {
 		}
 		if c.Assoc == 0 {
 			c.Assoc = 1
+		}
+		if c.Private {
+			if s.Cpus < 2 {
+				return fmt.Errorf("private per-CPU caches need cpus > 1, got %d", s.Cpus)
+			}
+			if c.Detail {
+				return fmt.Errorf("detail breakdowns are not available with private per-CPU caches")
+			}
+			if c.Partition != "" {
+				return fmt.Errorf("way partitioning is not available with private per-CPU caches")
+			}
 		}
 		if c.Partition != "" {
 			sp, err := partition.Parse(c.Partition)
@@ -188,6 +205,34 @@ type Job struct {
 	finished time.Time
 	err      string
 	results  map[string]JobResult
+	// hosts are the worker machines whose shards built this job's results
+	// (coordinator mode only), deduplicated, for merged-run provenance.
+	hosts []string
+}
+
+// addHost records a shard-contributing worker host, once per host.
+func (j *Job) addHost(h string) {
+	if h == "" {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, have := range j.hosts {
+		if have == h {
+			return
+		}
+	}
+	j.hosts = append(j.hosts, h)
+}
+
+// workerHosts returns the recorded shard hosts, sorted for stable
+// provenance.
+func (j *Job) workerHosts() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := append([]string(nil), j.hosts...)
+	sort.Strings(out)
+	return out
 }
 
 // snapshot returns a consistent copy of the mutable state.

@@ -74,6 +74,27 @@ type Config struct {
 	// completed job and backs /api/runs, /api/diff and /dash. The caller
 	// opens the store (runstore.Open) and owns its GC budget.
 	Archive *runstore.Store
+	// Coordinator turns the daemon into a fleet coordinator: jobs are
+	// decomposed into shards and fanned out to registered worker daemons
+	// instead of executing locally. A coordinator serves no /api/shard
+	// endpoint of its own.
+	Coordinator bool
+	// Peers pre-registers worker base URLs ("http://host:8081") with a
+	// coordinator; workers can also self-register via POST /api/workers.
+	Peers []string
+	// ShardRefs is the coordinator's shard-packing target: grid cells are
+	// packed into one shard until their projected replay volume reaches it.
+	// 0 packs nothing — one cell per shard, the finest grain.
+	ShardRefs uint64
+	// ShardTimeout bounds one shard's round trip to a worker (default 10m);
+	// a shard past it is reassigned like any other worker failure.
+	ShardTimeout time.Duration
+	// ShardAttempts bounds how many workers one shard is tried on before
+	// the job fails (default 3).
+	ShardAttempts int
+	// ShardBackoff seeds a failing worker's exponential cooldown
+	// (default 200ms, doubling per consecutive failure, capped at 5s).
+	ShardBackoff time.Duration
 }
 
 // Server is the daemon: job manager, metrics registry and HTTP handler.
@@ -86,6 +107,13 @@ type Server struct {
 	studies  *studyPool
 	budget   int64
 	archive  *runstore.Store
+
+	// Coordinator mode: the worker fleet and shard-packing target. fleet is
+	// nil on ordinary daemons, which instead bound their synchronous
+	// /api/shard endpoint with shardSem.
+	fleet     *fleet
+	shardRefs uint64
+	shardSem  chan struct{}
 
 	jobsStarted   *obs.Counter
 	jobsFinished  *obs.Counter
@@ -103,6 +131,18 @@ type Server struct {
 	sseDropped    *obs.Counter
 	jobsEvicted   *obs.Counter
 	regressions   *obs.Counter
+
+	// Sharded-serve metrics. shardsExecuted counts shards this daemon ran
+	// as a worker; the rest are coordinator fleet health.
+	shardsExecuted   *obs.Counter
+	shardReassigned  *obs.Counter
+	shardStragglers  *obs.Counter
+	workersGauge     *obs.Gauge
+	shardsDispatched func(worker string) *obs.Counter
+	shardsCompleted  func(worker string) *obs.Counter
+	shardsFailed     func(worker string) *obs.Counter
+	shardInflight    func(worker string) *obs.Gauge
+
 	phaseSeconds  func(phase string) *obs.Histogram
 	missRateGauge func(strategy, workload, size string) *obs.Gauge
 	partWaysGauge func(region, strategy, workload, size string) *obs.Gauge
@@ -169,6 +209,30 @@ func New(cfg Config) *Server {
 		"Finished jobs evicted from the retained job table past its bound.")
 	s.regressions = reg.Counter("oslayout_regressions_detected_total",
 		"Archive diffs served by /api/diff whose verdict was a regression.")
+	s.shardsExecuted = reg.Counter("oslayout_shards_executed_total",
+		"Shards this daemon executed for a coordinator via /api/shard.")
+	s.shardReassigned = reg.Counter("oslayout_shard_reassignments_total",
+		"Shards requeued after a worker failure or timeout and dispatched to another worker.")
+	s.shardStragglers = reg.Counter("oslayout_shard_stragglers_total",
+		"Completed shards whose duration ran past twice the job's median shard duration.")
+	s.workersGauge = reg.Gauge("oslayout_fleet_workers",
+		"Worker daemons registered with this coordinator.")
+	s.shardsDispatched = func(worker string) *obs.Counter {
+		return reg.Counter("oslayout_shards_dispatched_total",
+			"Shards dispatched to a worker daemon, by worker.", "worker", worker)
+	}
+	s.shardsCompleted = func(worker string) *obs.Counter {
+		return reg.Counter("oslayout_shards_completed_total",
+			"Shards a worker daemon completed, by worker.", "worker", worker)
+	}
+	s.shardsFailed = func(worker string) *obs.Counter {
+		return reg.Counter("oslayout_shards_failed_total",
+			"Shard dispatches that failed on a worker daemon, by worker.", "worker", worker)
+	}
+	s.shardInflight = func(worker string) *obs.Gauge {
+		return reg.Gauge("oslayout_shards_inflight",
+			"Shards currently in flight on a worker daemon, by worker.", "worker", worker)
+	}
 	// Archive gauges are registered unconditionally (0 without a store) so
 	// the exposition is stable across configurations.
 	reg.GaugeFunc("oslayout_archive_runs", "Run records held by the archive.",
@@ -198,6 +262,25 @@ func New(cfg Config) *Server {
 	s.jobs.onDrop = s.sseDropped.Inc
 	s.jobs.onEvict = s.jobsEvicted.Inc
 
+	if cfg.Coordinator {
+		s.fleet = newFleet(cfg.ShardTimeout, cfg.ShardAttempts, cfg.ShardBackoff)
+		s.shardRefs = cfg.ShardRefs
+		for _, peer := range cfg.Peers {
+			if err := s.fleet.add(peer, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: ignoring peer: %v\n", err)
+			}
+		}
+		s.workersGauge.Set(float64(s.fleet.size()))
+	} else {
+		// Ordinary daemons are shard workers: /api/shard runs shards
+		// synchronously, bounded like the job pool.
+		slots := cfg.Workers
+		if slots <= 0 {
+			slots = 2
+		}
+		s.shardSem = make(chan struct{}, slots)
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -206,6 +289,12 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /api/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/jobs/{id}/trace", s.handleTrace)
+	if cfg.Coordinator {
+		mux.HandleFunc("POST /api/workers", s.handleWorkerJoin)
+		mux.HandleFunc("GET /api/workers", s.handleWorkers)
+	} else {
+		mux.HandleFunc("POST /api/shard", s.handleShard)
+	}
 	mux.HandleFunc("GET /api/runs", s.handleRuns)
 	mux.HandleFunc("GET /api/runs/{ref}", s.handleRun)
 	mux.HandleFunc("GET /api/diff", s.handleDiff)
@@ -263,6 +352,13 @@ func (s *Server) archiveJob(j *Job, results map[string]JobResult, cells []runsto
 	for name, r := range results {
 		digests[name] = r.Digest
 	}
+	prov := obs.CollectProvenance()
+	if hosts := j.workerHosts(); len(hosts) > 0 {
+		// Coordinator-merged run: annotate the multi-host provenance
+		// explicitly so archive diffs gate digests but not timings.
+		prov.Merged = true
+		prov.Workers = hosts
+	}
 	_, err = s.archive.Put(&runstore.Record{
 		Kind:        "serve",
 		CreatedUnix: time.Now().Unix(),
@@ -274,7 +370,7 @@ func (s *Server) archiveJob(j *Job, results map[string]JobResult, cells []runsto
 			Counters:           j.rec.Counters(),
 			ReplayEventsPerSec: j.rec.EventsPerSec(),
 			Results:            digests,
-			Provenance:         obs.CollectProvenance(),
+			Provenance:         prov,
 		},
 		Cells:   cells,
 		Windows: windows,
@@ -287,8 +383,12 @@ func (s *Server) archiveJob(j *Job, results map[string]JobResult, cells []runsto
 }
 
 // execute runs the job's work and returns the rendered results, plus the
-// grid cells and windowed miss-rate series the archive record keeps.
+// grid cells and windowed miss-rate series the archive record keeps. A
+// coordinator executes nothing locally: the job fans out over the fleet.
 func (s *Server) execute(j *Job) (map[string]JobResult, []runstore.Cell, []obs.WindowFlush, error) {
+	if s.fleet != nil {
+		return s.executeDistributed(j)
+	}
 	par := j.Spec.Par
 	if par == 0 {
 		par = s.drivePar
@@ -365,43 +465,13 @@ func (s *Server) execute(j *Job) (map[string]JobResult, []runstore.Cell, []obs.W
 			return nil, nil, nil, err
 		}
 		grid, err := env.RunCompareOpts(c.Strategies, sizes, c.Line, c.Assoc,
-			expt.CompareOptions{Detail: c.Detail, Partition: c.Partition, CPUs: j.Spec.Cpus})
+			expt.CompareOptions{Detail: c.Detail, Partition: c.Partition, CPUs: j.Spec.Cpus, Private: c.Private})
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		rendered := grid.Render()
 		results["compare"] = JobResult{Digest: obs.Digest(rendered), Rendered: rendered}
-		var cells []runstore.Cell
-		for si, size := range grid.Sizes {
-			sizeLabel := strconv.Itoa(size)
-			for wi, w := range grid.Workloads {
-				for k, name := range grid.Strategies {
-					s.missRateGauge(name, w, sizeLabel).Set(grid.Rates[si][wi][k])
-					cells = append(cells, runstore.Cell{
-						Strategy: name, Workload: w, SizeBytes: size, CPU: -1,
-						MissRate: grid.Rates[si][wi][k],
-					})
-					if grid.PartSplit != nil {
-						sp := grid.PartSplit[si][wi][k]
-						s.partWaysGauge("os", name, w, sizeLabel).Set(float64(sp.OSWays))
-						s.partWaysGauge("app", name, w, sizeLabel).Set(float64(sp.AppWays))
-						s.partWaysGauge("resv", name, w, sizeLabel).Set(float64(sp.ResvWays))
-						s.repartitions.Add(grid.PartEvents[si][wi][k])
-					}
-					if grid.CPURates != nil {
-						for cpu, v := range grid.CPURates[si][wi][k] {
-							s.cpuRateGauge(strconv.Itoa(cpu), name, w, sizeLabel).Set(v)
-							cells = append(cells, runstore.Cell{
-								Strategy: name, Workload: w, SizeBytes: size, CPU: cpu,
-								MissRate: v,
-							})
-						}
-						s.crossEvicts.Add(grid.CrossEvictions[si][wi][k])
-					}
-				}
-			}
-		}
-		return results, cells, windows, nil
+		return results, s.compareTelemetry(grid), windows, nil
 	}
 	for _, name := range j.Spec.Experiments {
 		done := j.rec.Span("experiment." + name)
@@ -414,6 +484,47 @@ func (s *Server) execute(j *Job) (map[string]JobResult, []runstore.Cell, []obs.W
 		results[name] = JobResult{Digest: obs.Digest(rendered), Rendered: rendered}
 	}
 	return results, nil, windows, nil
+}
+
+// compareTelemetry exports a finished compare grid to the live gauges and
+// returns its archive cells. Shared by local execution and the
+// coordinator's merged grids, so a distributed run feeds /metrics and the
+// archive identically to a single-process one. Private per-CPU grids carry
+// CPURates without eviction attribution, hence the CrossEvictions guard.
+func (s *Server) compareTelemetry(grid *expt.Compare) []runstore.Cell {
+	var cells []runstore.Cell
+	for si, size := range grid.Sizes {
+		sizeLabel := strconv.Itoa(size)
+		for wi, w := range grid.Workloads {
+			for k, name := range grid.Strategies {
+				s.missRateGauge(name, w, sizeLabel).Set(grid.Rates[si][wi][k])
+				cells = append(cells, runstore.Cell{
+					Strategy: name, Workload: w, SizeBytes: size, CPU: -1,
+					MissRate: grid.Rates[si][wi][k],
+				})
+				if grid.PartSplit != nil {
+					sp := grid.PartSplit[si][wi][k]
+					s.partWaysGauge("os", name, w, sizeLabel).Set(float64(sp.OSWays))
+					s.partWaysGauge("app", name, w, sizeLabel).Set(float64(sp.AppWays))
+					s.partWaysGauge("resv", name, w, sizeLabel).Set(float64(sp.ResvWays))
+					s.repartitions.Add(grid.PartEvents[si][wi][k])
+				}
+				if grid.CPURates != nil {
+					for cpu, v := range grid.CPURates[si][wi][k] {
+						s.cpuRateGauge(strconv.Itoa(cpu), name, w, sizeLabel).Set(v)
+						cells = append(cells, runstore.Cell{
+							Strategy: name, Workload: w, SizeBytes: size, CPU: cpu,
+							MissRate: v,
+						})
+					}
+					if grid.CrossEvictions != nil {
+						s.crossEvicts.Add(grid.CrossEvictions[si][wi][k])
+					}
+				}
+			}
+		}
+	}
+	return cells
 }
 
 // JobStatus is the status-endpoint JSON shape.
